@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's evaluation artifacts
+(Table 2 or Figs. 6-11) in *quick* mode — coarser sweep axis, single seed,
+shorter measurement window — so the whole suite runs in minutes.  The full
+fidelity runs are available via the CLI: ``repro-uasn <figure>``.
+
+pytest-benchmark measures the wall-clock cost of regenerating each
+artifact; the generated series themselves are printed so the run doubles
+as a reproduction report (captured with ``-s`` or in the benchmark log).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import FigureData
+from repro.experiments.report import format_figure
+
+
+def emit(data: FigureData) -> FigureData:
+    """Print a regenerated figure (visible with ``pytest -s``)."""
+    print()
+    print(format_figure(data))
+    return data
+
+
+def check_figure(data: FigureData, figure_id: str) -> None:
+    """Structural sanity shared by every figure benchmark."""
+    assert data.figure_id == figure_id
+    assert data.x_values == sorted(data.x_values)
+    assert set(data.series) == {"S-FAMA", "ROPA", "CS-MAC", "EW-MAC"}
+    for protocol, series in data.series.items():
+        assert len(series) == len(data.x_values), protocol
+        assert all(v >= 0.0 for v in series), protocol
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run the expensive artifact generation exactly once under timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Density study: how deployment density changes the waiting resources.
+
+The paper's Fig. 7 insight: packing more sensors into the same volume
+shortens links, which shrinks propagation delays — and with them the idle
+waiting periods that ROPA, CS-MAC and EW-MAC exploit.  This script makes
+the mechanism visible: it prints the deployment geometry (mean link length,
+mean degree, mean one-hop delay) alongside each protocol's throughput for
+a sparse and a dense network.
+
+Run:
+    python examples/dense_vs_sparse.py
+"""
+
+from repro.experiments import Scenario, table2_config
+from repro.experiments.sweeps import PAPER_PROTOCOLS, mean
+
+
+def describe(n_sensors: int, seed: int = 9):
+    scenario = Scenario(table2_config(n_sensors=n_sensors, seed=seed))
+    dep = scenario.deployment
+    link = dep.mean_link_distance_m()
+    return {
+        "mean_link_m": link,
+        "mean_degree": dep.mean_degree(),
+        "mean_delay_s": link / 1500.0,
+    }
+
+
+def throughput(protocol: str, n_sensors: int, seeds=(9, 10, 11)) -> float:
+    values = []
+    for seed in seeds:
+        result = Scenario(
+            table2_config(
+                protocol=protocol,
+                n_sensors=n_sensors,
+                offered_load_kbps=0.8,
+                sim_time_s=200.0,
+                seed=seed,
+            )
+        ).run_steady_state()
+        values.append(result.throughput_kbps)
+    return mean(values)
+
+
+def main() -> None:
+    for n_sensors, label in ((60, "sparse (Table 2 default)"), (140, "dense")):
+        geo = describe(n_sensors)
+        print(f"--- {n_sensors} sensors — {label}")
+        print(f"  mean link length : {geo['mean_link_m']:7.0f} m")
+        print(f"  mean degree      : {geo['mean_degree']:7.1f} neighbours")
+        print(f"  mean 1-hop delay : {geo['mean_delay_s']:7.3f} s "
+              f"(of tau_max = 1.000 s)")
+        for protocol in PAPER_PROTOCOLS:
+            tput = throughput(protocol, n_sensors)
+            print(f"  {protocol:10s} throughput at 0.8 kbps: {tput:.3f} kbps")
+        print()
+    print("Denser networks leave less waiting time to exploit — the paper's")
+    print("Fig. 7: the opportunistic protocols drift toward the S-FAMA line.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Domain scenario: a coastal pollution-monitoring UASN.
+
+One of the paper's motivating applications ("pollution monitoring"): a
+dense field of sensors at the bottom of a shallow coastal shelf samples
+water quality and reports readings to a surface buoy.  Readings are
+batched into large data packets (the paper's Sec. 2 guidance: "data should
+be collected and then transmitted when the amount of data is sufficient")
+and relayed hop by hop toward the surface.
+
+The script compares EW-MAC against S-FAMA on this workload and reports
+sink-side delivery statistics — what an operator of the monitoring array
+would actually care about.
+
+Run:
+    python examples/pollution_monitoring.py
+"""
+
+from repro.experiments import Scenario, table2_config
+
+
+def run(protocol: str, seed: int = 11):
+    config = table2_config(
+        protocol=protocol,
+        n_sensors=80,              # dense shelf deployment
+        side_m=6000.0,             # 6 x 6 x 6 km shallow shelf
+        offered_load_kbps=0.6,     # periodic batched readings
+        data_packet_bits=4096,     # large packets (paper Sec. 2)
+        sim_time_s=300.0,
+        seed=seed,
+    )
+    scenario = Scenario(config)
+    result = scenario.run_steady_state()
+    sink = scenario.nodes[scenario.deployment.sink_ids[0]]
+    return scenario, result, sink
+
+
+def main() -> None:
+    print("Coastal pollution-monitoring array: 80 sensors, 6 km shelf, "
+          "4096-bit batched readings at 0.6 kbps\n")
+    rows = []
+    for protocol in ("S-FAMA", "EW-MAC"):
+        scenario, result, sink = run(protocol)
+        readings = sink.app_stats.delivered
+        rows.append((protocol, result, sink, readings))
+        print(f"--- {protocol}")
+        print(f"  readings at the buoy     : {readings} "
+              f"({sink.app_stats.delivered_bits / 8000:.1f} kB)")
+        print(f"  MAC throughput (Eq. 3)   : {result.throughput_kbps:.3f} kbps")
+        print(f"  mean hop delay           : {result.mean_delay_s:.1f} s")
+        print(f"  network power            : {result.power_mw:.0f} mW")
+        print(f"  collisions               : {result.collisions}")
+        if protocol == "EW-MAC":
+            print(f"  extra communications     : {result.extra_completed}")
+        print()
+    base, ew = rows[0], rows[1]
+    if base[3] > 0:
+        gain = (ew[3] - base[3]) / base[3] * 100.0
+        print(f"EW-MAC delivered {gain:+.0f}% readings to the buoy vs S-FAMA "
+              "on the identical deployment and sensing schedule.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: run one EW-MAC simulation at the paper's Table 2 defaults.
+
+Builds a 60-sensor underwater network in a 1000 km^3 volume, drives it
+with 0.5 kbps of Poisson sensing traffic for 300 simulated seconds, and
+prints the paper's headline metrics (Eqs. 2-4).
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.experiments import run_scenario, table2_config
+
+
+def main() -> None:
+    config = table2_config(
+        protocol="EW-MAC",
+        offered_load_kbps=0.5,
+        seed=7,
+    )
+    print("Building and running the Table 2 scenario "
+          f"({config.n_sensors} sensors, {config.sim_time_s:.0f} s)...")
+    result = run_scenario(config)
+
+    print()
+    print(f"protocol            : {result.protocol}")
+    print(f"offered load        : {config.offered_load_kbps} kbps")
+    print(f"throughput (Eq. 3)  : {result.throughput_kbps:.3f} kbps")
+    print(f"power consumption   : {result.power_mw:.0f} mW (network total)")
+    print(f"efficiency (Eq. 4)  : {result.efficiency.value:.6f} kbps/mW")
+    print(f"mean delivery delay : {result.mean_delay_s:.1f} s")
+    print(f"collisions observed : {result.collisions}")
+    print(f"extra communications: {result.extra_completed} completed")
+    print()
+    print("Try other protocols with table2_config(protocol='S-FAMA' | 'ROPA'")
+    print("| 'CS-MAC'), or regenerate a paper figure: repro-uasn fig6 --quick")
+
+
+if __name__ == "__main__":
+    main()

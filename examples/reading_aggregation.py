@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Packet-size strategy: send readings raw vs aggregate into large packets.
+
+Paper Sec. 2: "Due to long propagation delay, large packets are more
+efficient than multiple small packets ... data should be collected and
+then transmitted when the amount of data is sufficient."
+
+This script drives the same sensing process (256-bit readings, Poisson
+per sensor) through two application strategies on EW-MAC:
+
+* **raw** — every reading becomes its own MAC packet;
+* **aggregated** — a :class:`~repro.net.aggregation.ReadingAggregator`
+  coalesces readings into ~2048-bit packets (with an age bound so data
+  never goes stale for more than two minutes).
+
+Run:
+    python examples/reading_aggregation.py
+"""
+
+from repro.des.process import Process
+from repro.experiments import Scenario, table2_config
+from repro.net.aggregation import ReadingAggregator
+
+READING_BITS = 256
+READING_PERIOD_S = 12.0  # per-sensor mean sensing interval
+
+
+def drive(strategy: str, seed: int = 13):
+    config = table2_config(
+        protocol="EW-MAC",
+        n_sensors=40,
+        sim_time_s=300.0,
+        offered_load_kbps=0.0,  # traffic comes from the sensing process below
+        seed=seed,
+    )
+    scenario = Scenario(config)
+    sim = scenario.sim
+    aggregators = {}
+    for node in scenario.nodes:
+        if node.is_sink:
+            continue
+        if strategy == "aggregated":
+            aggregators[node.node_id] = ReadingAggregator(
+                sim,
+                node,
+                next_hop_fn=lambda nid=node.node_id: scenario.routing.next_hop(nid),
+                flush_bits=2048,
+                max_age_s=120.0,
+            )
+
+        def sensing(node=node):
+            rng = sim.streams.get(f"sensing.{node.node_id}")
+            while True:
+                yield float(rng.exponential(READING_PERIOD_S))
+                if strategy == "aggregated":
+                    aggregators[node.node_id].add_reading(READING_BITS)
+                else:
+                    next_hop = scenario.routing.next_hop(node.node_id)
+                    if next_hop is not None:
+                        node.enqueue_data(next_hop, READING_BITS)
+
+        Process(sim, sensing())
+    result = scenario.run_steady_state()
+    return scenario, result, aggregators
+
+
+def main() -> None:
+    print("Sensing process: 256-bit readings, ~1 reading / 12 s / sensor, "
+          "40 sensors, EW-MAC\n")
+    for strategy in ("raw", "aggregated"):
+        scenario, result, aggregators = drive(strategy)
+        sink = scenario.nodes[scenario.deployment.sink_ids[0]]
+        handshakes = sum(m.stats.handshakes_completed for m in scenario.macs)
+        print(f"--- {strategy}")
+        print(f"  MAC packets completed : {handshakes}")
+        print(f"  bits at the buoy      : {sink.app_stats.delivered_bits}")
+        print(f"  network power         : {result.power_mw:.0f} mW")
+        print(f"  energy per delivered kbit: "
+              f"{result.energy.total_j / max(sink.app_stats.delivered_bits / 1000.0, 1e-9):.1f} J")
+        if aggregators:
+            flushes = sum(a.stats.flushes for a in aggregators.values())
+            mean_bits = (
+                sum(a.stats.flushed_bits for a in aggregators.values()) / flushes
+                if flushes
+                else 0
+            )
+            print(f"  aggregator flushes    : {flushes} "
+                  f"(mean packet {mean_bits:.0f} bits)")
+        print()
+    print("Aggregation moves the same information in far fewer exchanges —")
+    print("each 4-slot handshake is amortized over ~8 readings instead of 1.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Shim so legacy `setup.py develop` works in offline environments
+where pip's PEP 660 editable path is unavailable (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

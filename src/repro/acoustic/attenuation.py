@@ -1,0 +1,89 @@
+"""Acoustic path loss: Thorp absorption plus geometric spreading.
+
+Implements the standard Urick/Thorp channel model used by NS-3's UAN
+module (the paper's simulator):
+
+* Thorp's absorption coefficient ``a(f)`` in dB/km for frequency f in kHz,
+* total path loss ``A(l, f) [dB] = k * 10 log10(l) + l_km * a(f)``, where
+  ``k`` is the spreading factor (1 cylindrical, 2 spherical, 1.5 practical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Practical spreading factor commonly used for UASN link budgets.
+PRACTICAL_SPREADING = 1.5
+SPHERICAL_SPREADING = 2.0
+CYLINDRICAL_SPREADING = 1.0
+
+
+def thorp_absorption_db_per_km(frequency_khz: float) -> float:
+    """Thorp's absorption coefficient in dB/km.
+
+    Uses the full Thorp formula for f >= 0.4 kHz and the low-frequency
+    variant below that (Urick, *Principles of Underwater Sound*).
+    """
+    if frequency_khz <= 0:
+        raise ValueError("frequency must be positive")
+    f2 = frequency_khz**2
+    if frequency_khz >= 0.4:
+        return (
+            0.11 * f2 / (1.0 + f2)
+            + 44.0 * f2 / (4100.0 + f2)
+            + 2.75e-4 * f2
+            + 0.003
+        )
+    return 0.002 + 0.11 * (f2 / (1 + f2)) + 0.011 * f2
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Thorp + spreading path loss.
+
+    Attributes:
+        frequency_khz: Carrier frequency (paper: ~10 kHz band).
+        spreading: Spreading factor k (1.5 = practical).
+    """
+
+    frequency_khz: float = 10.0
+    spreading: float = PRACTICAL_SPREADING
+
+    def path_loss_db(self, distance_m: float) -> float:
+        """Total transmission loss A(l, f) in dB at ``distance_m`` metres.
+
+        Distances below 1 m are clamped to 1 m (loss 0 dB at the reference
+        distance, as in NS-3).
+        """
+        distance_m = max(distance_m, 1.0)
+        distance_km = distance_m / 1000.0
+        absorption = thorp_absorption_db_per_km(self.frequency_khz)
+        return self.spreading * 10.0 * math.log10(distance_m) + distance_km * absorption
+
+    def received_level_db(self, source_level_db: float, distance_m: float) -> float:
+        """Received level RL = SL - A(l, f) in dB re 1 uPa."""
+        return source_level_db - self.path_loss_db(distance_m)
+
+    def max_range_m(
+        self,
+        source_level_db: float,
+        min_received_level_db: float,
+        upper_bound_m: float = 100_000.0,
+    ) -> float:
+        """Largest range at which RL >= ``min_received_level_db``.
+
+        Solved by bisection; path loss is strictly increasing in distance.
+        """
+        if self.received_level_db(source_level_db, 1.0) < min_received_level_db:
+            return 0.0
+        lo, hi = 1.0, upper_bound_m
+        if self.received_level_db(source_level_db, hi) >= min_received_level_db:
+            return hi
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.received_level_db(source_level_db, mid) >= min_received_level_db:
+                lo = mid
+            else:
+                hi = mid
+        return lo

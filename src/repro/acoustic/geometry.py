@@ -1,0 +1,72 @@
+"""3-D positions and distances for underwater deployments.
+
+Coordinates are metres.  ``z`` is **depth**, positive downward, so the sea
+surface is ``z == 0`` and sinks float at or near it (paper Fig. 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Position:
+    """An immutable point in the water column (metres; z = depth, +down)."""
+
+    x: float
+    y: float
+    z: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres."""
+        return math.sqrt(
+            (self.x - other.x) ** 2
+            + (self.y - other.y) ** 2
+            + (self.z - other.z) ** 2
+        )
+
+    def horizontal_distance_to(self, other: "Position") -> float:
+        """Distance ignoring depth (useful for mobility models)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Position") -> "Position":
+        return Position(
+            (self.x + other.x) / 2.0,
+            (self.y + other.y) / 2.0,
+            (self.z + other.z) / 2.0,
+        )
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Position":
+        """Return a copy shifted by the given offsets."""
+        return Position(self.x + dx, self.y + dy, self.z + dz)
+
+    def clamped(
+        self,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+        z_range: Tuple[float, float],
+    ) -> "Position":
+        """Return a copy clamped into the axis-aligned box."""
+        return Position(
+            min(max(self.x, x_range[0]), x_range[1]),
+            min(max(self.y, y_range[0]), y_range[1]),
+            min(max(self.z, z_range[0]), z_range[1]),
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+
+def bounding_box(
+    positions: Iterable[Position],
+) -> Tuple[Tuple[float, float], Tuple[float, float], Tuple[float, float]]:
+    """Axis-aligned bounding box of a non-empty collection of positions."""
+    pts = list(positions)
+    if not pts:
+        raise ValueError("bounding_box of empty collection")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    zs = [p.z for p in pts]
+    return ((min(xs), max(xs)), (min(ys), max(ys)), (min(zs), max(zs)))

@@ -1,0 +1,72 @@
+"""Ambient ocean noise (Wenz curves, empirical approximation).
+
+Total noise is the power sum of four components — turbulence, distant
+shipping, wind-driven surface agitation and thermal noise — each given by
+the standard empirical formulas (Stojanovic, "On the relationship between
+capacity and distance in an underwater acoustic communication channel").
+All levels are dB re 1 uPa per Hz at frequency f in kHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def turbulence_noise_db(frequency_khz: float) -> float:
+    """N_t(f) = 17 - 30 log10 f."""
+    return 17.0 - 30.0 * math.log10(max(frequency_khz, 1e-6))
+
+
+def shipping_noise_db(frequency_khz: float, shipping: float) -> float:
+    """N_s(f) = 40 + 20(s - 0.5) + 26 log f - 60 log(f + 0.03); s in [0,1]."""
+    f = max(frequency_khz, 1e-6)
+    return 40.0 + 20.0 * (shipping - 0.5) + 26.0 * math.log10(f) - 60.0 * math.log10(f + 0.03)
+
+
+def wind_noise_db(frequency_khz: float, wind_mps: float) -> float:
+    """N_w(f) = 50 + 7.5 sqrt(w) + 20 log f - 40 log(f + 0.4)."""
+    f = max(frequency_khz, 1e-6)
+    return 50.0 + 7.5 * math.sqrt(max(wind_mps, 0.0)) + 20.0 * math.log10(f) - 40.0 * math.log10(f + 0.4)
+
+
+def thermal_noise_db(frequency_khz: float) -> float:
+    """N_th(f) = -15 + 20 log10 f."""
+    return -15.0 + 20.0 * math.log10(max(frequency_khz, 1e-6))
+
+
+def _db_to_power(db: float) -> float:
+    return 10.0 ** (db / 10.0)
+
+
+def _power_to_db(power: float) -> float:
+    return 10.0 * math.log10(max(power, 1e-30))
+
+
+@dataclass(frozen=True)
+class AmbientNoiseModel:
+    """Combined Wenz-style ambient noise.
+
+    Attributes:
+        shipping: Shipping activity factor in [0, 1] (0.5 = moderate).
+        wind_mps: Surface wind speed in m/s.
+    """
+
+    shipping: float = 0.5
+    wind_mps: float = 5.0
+
+    def spectral_density_db(self, frequency_khz: float) -> float:
+        """Total noise PSD N(f) in dB re 1 uPa / Hz (power sum of terms)."""
+        total = (
+            _db_to_power(turbulence_noise_db(frequency_khz))
+            + _db_to_power(shipping_noise_db(frequency_khz, self.shipping))
+            + _db_to_power(wind_noise_db(frequency_khz, self.wind_mps))
+            + _db_to_power(thermal_noise_db(frequency_khz))
+        )
+        return _power_to_db(total)
+
+    def band_level_db(self, frequency_khz: float, bandwidth_hz: float) -> float:
+        """Noise level integrated over a (narrow) band: N(f) + 10 log10 B."""
+        if bandwidth_hz <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.spectral_density_db(frequency_khz) + 10.0 * math.log10(bandwidth_hz)

@@ -1,0 +1,84 @@
+"""Link budget: source level, received level, SNR and SINR.
+
+Mirrors the structure of NS-3 UAN's "Default SINR" model: the SINR of a
+reception is computed from the received signal power, the band-integrated
+ambient noise and the summed power of every overlapping interfering
+arrival, all in the linear (power) domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from .attenuation import PathLossModel
+from .noise import AmbientNoiseModel
+
+#: Typical acoustic modem source level (dB re 1 uPa @ 1 m).
+DEFAULT_SOURCE_LEVEL_DB = 160.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert decibels to linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(linear: float) -> float:
+    """Convert linear power ratio to decibels (floors at -300 dB)."""
+    return 10.0 * math.log10(max(linear, 1e-30))
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Combines path loss and ambient noise into SNR/SINR computations.
+
+    Attributes:
+        path_loss: The Thorp/spreading path loss model.
+        noise: Ambient noise model.
+        source_level_db: Transmit source level (dB re 1 uPa @ 1 m).
+        bandwidth_hz: Receiver band for noise integration.
+    """
+
+    path_loss: PathLossModel = PathLossModel()
+    noise: AmbientNoiseModel = AmbientNoiseModel()
+    source_level_db: float = DEFAULT_SOURCE_LEVEL_DB
+    bandwidth_hz: float = 10_000.0
+
+    def received_level_db(self, distance_m: float) -> float:
+        """RL = SL - A(l, f) in dB re 1 uPa."""
+        return self.path_loss.received_level_db(self.source_level_db, distance_m)
+
+    def noise_level_db(self) -> float:
+        """Band-integrated ambient noise level in dB re 1 uPa."""
+        return self.noise.band_level_db(self.path_loss.frequency_khz, self.bandwidth_hz)
+
+    def snr_db(self, distance_m: float) -> float:
+        """Signal-to-(ambient)-noise ratio in dB at ``distance_m``."""
+        return self.received_level_db(distance_m) - self.noise_level_db()
+
+    def sinr_db(
+        self, signal_distance_m: float, interferer_distances_m: Iterable[float]
+    ) -> float:
+        """SINR with interferers summed in the linear power domain."""
+        signal = db_to_linear(self.received_level_db(signal_distance_m))
+        noise = db_to_linear(self.noise_level_db())
+        interference = sum(
+            db_to_linear(self.received_level_db(d)) for d in interferer_distances_m
+        )
+        return linear_to_db(signal / (noise + interference))
+
+    def sinr_db_from_levels(
+        self, signal_level_db: float, interferer_levels_db: Iterable[float]
+    ) -> float:
+        """SINR when received levels (dB) are already known."""
+        signal = db_to_linear(signal_level_db)
+        noise = db_to_linear(self.noise_level_db())
+        interference = sum(db_to_linear(level) for level in interferer_levels_db)
+        return linear_to_db(signal / (noise + interference))
+
+    def communication_range_m(self, min_snr_db: float) -> float:
+        """Maximum range at which SNR >= ``min_snr_db`` (no interference)."""
+        return self.path_loss.max_range_m(
+            self.source_level_db, self.noise_level_db() + min_snr_db
+        )

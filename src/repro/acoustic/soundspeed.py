@@ -1,0 +1,93 @@
+"""Sound-speed models for the water column.
+
+The paper uses a nominal 1.5 km/s everywhere ("the sound speed in the water
+is 1.5 km/s") but notes that real speed depends on the water column and
+temperature.  We provide:
+
+* :class:`UniformSoundSpeed` — the paper's nominal constant model, the
+  default for all experiments (so slot arithmetic matches the paper), and
+* :class:`MackenzieProfile` — the standard 9-term Mackenzie (1981) equation
+  as a function of temperature, salinity and depth, used by the
+  Bellhop-substitute propagation model to produce *realistic heterogeneous*
+  delays for the robustness ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Paper's nominal acoustic speed (m/s).
+NOMINAL_SPEED_MPS = 1500.0
+
+
+class SoundSpeedModel:
+    """Interface: speed (m/s) at a given depth (m, positive down)."""
+
+    def speed_at(self, depth_m: float) -> float:
+        raise NotImplementedError
+
+    def mean_speed(self, depth_a_m: float, depth_b_m: float, samples: int = 16) -> float:
+        """Harmonic-mean speed along a straight path between two depths.
+
+        The harmonic mean is the correct average for travel time:
+        ``t = L / v_harm`` when speed varies along the path.
+        """
+        if samples < 2:
+            raise ValueError("need at least 2 samples")
+        lo, hi = sorted((depth_a_m, depth_b_m))
+        if hi - lo < 1e-9:
+            return self.speed_at(lo)
+        step = (hi - lo) / (samples - 1)
+        inv_sum = sum(1.0 / self.speed_at(lo + i * step) for i in range(samples))
+        return samples / inv_sum
+
+
+@dataclass(frozen=True)
+class UniformSoundSpeed(SoundSpeedModel):
+    """Constant sound speed, the paper's default 1500 m/s."""
+
+    speed_mps: float = NOMINAL_SPEED_MPS
+
+    def speed_at(self, depth_m: float) -> float:
+        return self.speed_mps
+
+
+@dataclass(frozen=True)
+class MackenzieProfile(SoundSpeedModel):
+    """Mackenzie (1981) nine-term sound-speed equation.
+
+    ``c(T, S, D)`` with temperature T in deg C, salinity S in parts per
+    thousand, depth D in metres.  Valid for T in [2, 30], S in [25, 40],
+    D in [0, 8000].  Temperature decays exponentially with depth from
+    ``surface_temp_c`` toward ``deep_temp_c`` with scale ``thermocline_m``,
+    a standard single-thermocline idealization.
+    """
+
+    surface_temp_c: float = 20.0
+    deep_temp_c: float = 4.0
+    thermocline_m: float = 500.0
+    salinity_ppt: float = 35.0
+
+    def temperature_at(self, depth_m: float) -> float:
+        """Idealized exponential thermocline temperature (deg C)."""
+        depth_m = max(depth_m, 0.0)
+        return self.deep_temp_c + (self.surface_temp_c - self.deep_temp_c) * math.exp(
+            -depth_m / self.thermocline_m
+        )
+
+    def speed_at(self, depth_m: float) -> float:
+        t = self.temperature_at(depth_m)
+        s = self.salinity_ppt
+        d = max(depth_m, 0.0)
+        return (
+            1448.96
+            + 4.591 * t
+            - 5.304e-2 * t**2
+            + 2.374e-4 * t**3
+            + 1.340 * (s - 35.0)
+            + 1.630e-2 * d
+            + 1.675e-7 * d**2
+            - 1.025e-2 * t * (s - 35.0)
+            - 7.139e-13 * t * d**3
+        )

@@ -1,0 +1,40 @@
+"""Analysis tools: closed-form models, replication statistics, charts."""
+
+from .charts import ascii_chart, figure_chart
+from .statistics import (
+    Estimate,
+    PairedComparison,
+    estimate,
+    mean,
+    paired_comparison,
+    replicate_until,
+    sample_std,
+)
+from .theory import (
+    HandshakeModel,
+    contention_domain_capacity_bps,
+    contention_success_probability,
+    expected_contention_rounds,
+    offered_load_saturation_point_kbps,
+    propagation_limited_rtt_s,
+    slotted_aloha_peak_utilization,
+)
+
+__all__ = [
+    "Estimate",
+    "HandshakeModel",
+    "PairedComparison",
+    "ascii_chart",
+    "contention_domain_capacity_bps",
+    "contention_success_probability",
+    "estimate",
+    "expected_contention_rounds",
+    "figure_chart",
+    "mean",
+    "offered_load_saturation_point_kbps",
+    "paired_comparison",
+    "propagation_limited_rtt_s",
+    "replicate_until",
+    "sample_std",
+    "slotted_aloha_peak_utilization",
+]

@@ -1,0 +1,105 @@
+"""ASCII chart rendering for figure data.
+
+The reproduction is terminal-first: these renderers draw the regenerated
+paper figures as Unicode line charts so orderings and crossovers are
+visible without matplotlib (which is unavailable offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: Plot glyph per series, cycled in legend order.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    ratio = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(ratio * (cells - 1)))))
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render multiple series as a Unicode scatter/line chart.
+
+    Args:
+        x_values: Shared x axis.
+        series: Mapping of series name to y values (same length as x).
+        width/height: Plot area in character cells.
+        y_label/x_label: Axis captions.
+
+    Returns:
+        The chart as a multi-line string (includes a legend).
+    """
+    if not x_values:
+        raise ValueError("empty x axis")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        raise ValueError("no series")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x_values), max(x_values)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        cols = [_scale(x, x_lo, x_hi, width) for x in x_values]
+        rows = [height - 1 - _scale(y, y_lo, y_hi, height) for y in ys]
+        # connect consecutive points with interpolated cells
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for step in range(steps + 1):
+                c = round(c0 + (c1 - c0) * step / steps)
+                r = round(r0 + (r1 - r0) * step / steps)
+                cell = grid[r][c]
+                grid[r][c] = marker if cell in (" ", marker) else "+"
+        for c, r in zip(cols, rows):
+            grid[r][c] = marker
+    lines = []
+    label_width = 10
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            caption = f"{y_hi:10.4g}"
+        elif row_index == height - 1:
+            caption = f"{y_lo:10.4g}"
+        else:
+            caption = " " * label_width
+        lines.append(f"{caption} |" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = f"{x_lo:<10.4g}" + " " * max(0, width - 20) + f"{x_hi:>10.4g}"
+    lines.append(" " * (label_width + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("")
+    lines.append(" " * (label_width + 1) + legend)
+    if y_label:
+        lines.insert(0, f"{y_label}")
+    return "\n".join(lines)
+
+
+def figure_chart(data, width: int = 64, height: int = 16) -> str:
+    """Render a :class:`~repro.experiments.figures.FigureData` as a chart."""
+    header = f"{data.figure_id}: {data.title}"
+    chart = ascii_chart(
+        data.x_values,
+        data.series,
+        width=width,
+        height=height,
+        y_label=data.y_label,
+        x_label=data.x_label,
+    )
+    return f"{header}\n{chart}\n"

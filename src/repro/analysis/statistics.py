@@ -1,0 +1,151 @@
+"""Replication statistics for simulation experiments.
+
+Multi-seed experiment analysis: means, Student-t confidence intervals,
+paired protocol comparisons, and a sequential-replication helper that adds
+seeds until the confidence interval is tight enough.  Uses scipy when the
+exact t quantile matters; falls back to a normal approximation otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+try:  # scipy is available in the reference environment, but optional
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover
+    _scipy_stats = None
+
+#: z quantiles for the normal-approximation fallback.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; 0.0 for n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def _t_quantile(confidence: float, dof: int) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    base = _Z.get(round(confidence, 2), 1.96)
+    # crude dof correction for the fallback path
+    return base * (1.0 + 1.0 / max(dof, 1))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A replicated measurement: mean with a confidence interval."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width relative to |mean| (inf at mean 0)."""
+        if self.mean == 0:
+            return math.inf
+        return self.half_width / abs(self.mean)
+
+    def overlaps(self, other: "Estimate") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def estimate(values: Sequence[float], confidence: float = 0.95) -> Estimate:
+    """Mean with a Student-t confidence interval."""
+    if not values:
+        raise ValueError("no values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    n = len(values)
+    mu = mean(values)
+    if n < 2:
+        return Estimate(mean=mu, half_width=math.inf, n=n, confidence=confidence)
+    half = _t_quantile(confidence, n - 1) * sample_std(values) / math.sqrt(n)
+    return Estimate(mean=mu, half_width=half, n=n, confidence=confidence)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired-seed comparison of a metric between two protocols."""
+
+    mean_difference: float
+    ci: Estimate
+    n: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI of the difference excludes zero."""
+        return self.ci.low > 0.0 or self.ci.high < 0.0
+
+
+def paired_comparison(
+    a: Sequence[float], b: Sequence[float], confidence: float = 0.95
+) -> PairedComparison:
+    """Compare per-seed measurements of A vs B (positive = A larger).
+
+    Pairing by seed removes the (large) topology variance — the method
+    behind the protocol orderings this reproduction reports.
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    diffs = [x - y for x, y in zip(a, b)]
+    est = estimate(diffs, confidence)
+    return PairedComparison(mean_difference=est.mean, ci=est, n=len(diffs))
+
+
+def replicate_until(
+    run: Callable[[int], float],
+    target_relative_half_width: float = 0.1,
+    min_seeds: int = 3,
+    max_seeds: int = 20,
+    confidence: float = 0.95,
+    first_seed: int = 1,
+) -> Tuple[Estimate, List[float]]:
+    """Add replications until the CI is tighter than the target.
+
+    Args:
+        run: Maps a seed to one measurement (runs one simulation).
+        target_relative_half_width: Stop when half-width / |mean| is below
+            this (default 10%).
+        min_seeds / max_seeds: Replication bounds.
+
+    Returns:
+        The final estimate and the raw per-seed values.
+    """
+    if min_seeds < 2:
+        raise ValueError("need at least two seeds for an interval")
+    values: List[float] = []
+    seed = first_seed
+    while len(values) < max_seeds:
+        values.append(run(seed))
+        seed += 1
+        if len(values) >= min_seeds:
+            est = estimate(values, confidence)
+            if est.relative_half_width <= target_relative_half_width:
+                return est, values
+    return estimate(values, confidence), values

@@ -1,0 +1,136 @@
+"""Analytical models of slotted UASN MAC performance.
+
+Closed-form counterparts to the simulator, used three ways:
+
+* **validation** — the simulator must respect the analytical bounds
+  (tested in ``tests/analysis``);
+* **intuition** — the bounds explain the paper's saturation levels:
+  a slotted handshake spends ``4-5`` slots of ``tau_max + omega`` each to
+  move one data packet, so a single contention domain cannot exceed
+  roughly ``data_bits / (5 * slot)`` bits per second no matter the load;
+* **scoping** — quick what-if arithmetic for new parameter choices
+  without running the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..mac.slots import SlotTiming
+
+
+@dataclass(frozen=True)
+class HandshakeModel:
+    """Slot accounting for one four-way slotted handshake.
+
+    Attributes:
+        timing: The slot grid.
+        data_bits: Data packet size.
+        bitrate_bps: Channel bitrate.
+        tau_s: Propagation delay of the pair (defaults to tau_max).
+    """
+
+    timing: SlotTiming
+    data_bits: int
+    bitrate_bps: float
+    tau_s: float | None = None
+
+    @property
+    def pair_delay_s(self) -> float:
+        return self.tau_s if self.tau_s is not None else self.timing.tau_max_s
+
+    @property
+    def data_duration_s(self) -> float:
+        return self.data_bits / self.bitrate_bps
+
+    def exchange_slots(self) -> int:
+        """Slots consumed by RTS + CTS + Data(+Eq.5) + Ack."""
+        data_slots = self.timing.data_slots(self.data_duration_s, self.pair_delay_s)
+        # RTS slot, CTS slot, data_slots to cover the transfer, Ack slot
+        return 2 + data_slots + 1
+
+    def exchange_duration_s(self) -> float:
+        return self.exchange_slots() * self.timing.slot_s
+
+    def single_pair_throughput_bps(self) -> float:
+        """Best-case goodput of one isolated pair running back to back."""
+        return self.data_bits / self.exchange_duration_s()
+
+    def channel_utilization(self) -> float:
+        """Fraction of channel time carrying data bits (the paper's
+        bandwidth-utilization notion): data on-air time over exchange time."""
+        return self.data_duration_s / self.exchange_duration_s()
+
+    def extra_communication_gain(self) -> float:
+        """Upper bound on EW-MAC's per-exchange gain.
+
+        One extra communication moves one more data packet inside the same
+        exchange span (the EXData rides the waiting periods), so the ideal
+        throughput multiplier is 2.0; realized gain is scaled by how often
+        a contention loser exists and the Eq. (6) windows are feasible.
+        """
+        return 2.0
+
+
+def contention_domain_capacity_bps(
+    timing: SlotTiming, data_bits: int, bitrate_bps: float
+) -> float:
+    """Saturation throughput of one contention domain (one receiver).
+
+    A granting receiver serializes exchanges; with perfect scheduling it
+    completes one handshake per :meth:`HandshakeModel.exchange_slots`.
+    """
+    model = HandshakeModel(timing, data_bits, bitrate_bps)
+    return model.single_pair_throughput_bps()
+
+
+def slotted_aloha_peak_utilization() -> float:
+    """Classic slotted-ALOHA peak channel utilization, 1/e."""
+    return 1.0 / math.e
+
+
+def contention_success_probability(n_contenders: int, n_slots: int) -> float:
+    """P(a given contender transmits alone) with uniform slot choice.
+
+    Each of ``n_contenders`` picks one of ``n_slots`` uniformly; a given
+    contender succeeds if nobody else picked its slot.
+    """
+    if n_contenders < 1 or n_slots < 1:
+        raise ValueError("need at least one contender and one slot")
+    return (1.0 - 1.0 / n_slots) ** (n_contenders - 1)
+
+
+def expected_contention_rounds(n_contenders: int, n_slots: int) -> float:
+    """Expected rounds until a given contender wins (geometric)."""
+    p = contention_success_probability(n_contenders, n_slots)
+    if p <= 0.0:
+        return math.inf
+    return 1.0 / p
+
+
+def propagation_limited_rtt_s(distance_m: float, speed_mps: float = 1500.0) -> float:
+    """Round-trip acoustic time — the floor on any handshake at range."""
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    return 2.0 * distance_m / speed_mps
+
+
+def offered_load_saturation_point_kbps(
+    timing: SlotTiming,
+    data_bits: int,
+    bitrate_bps: float,
+    parallel_domains: float = 1.0,
+    mean_hops: float = 1.0,
+) -> float:
+    """Offered load (kbps) beyond which the network must saturate.
+
+    ``parallel_domains`` approximates spatial reuse (how many exchanges
+    can run concurrently); ``mean_hops`` converts MAC-level capacity into
+    end-to-end offered load (each offered bit consumes ``mean_hops``
+    MAC transmissions).
+    """
+    if parallel_domains <= 0 or mean_hops <= 0:
+        raise ValueError("domains and hops must be positive")
+    capacity = contention_domain_capacity_bps(timing, data_bits, bitrate_bps)
+    return capacity * parallel_domains / mean_hops / 1000.0

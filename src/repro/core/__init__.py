@@ -1,0 +1,5 @@
+"""Core contribution package: the EW-MAC protocol."""
+
+from .ewmac import EwMac
+
+__all__ = ["EwMac"]

@@ -1,0 +1,126 @@
+"""Neighbour-schedule tracking for interference-safe extra communications.
+
+Paper Sec. 4.2: before sending an extra packet, sensor *i* "must consider
+its other neighbors ... i should ensure that EXR arrives at those
+neighbors in period V" and "EXData arrives at the other neighbors in the
+period IV after they send Ack packets".  In other words, off-slot
+transmissions are only allowed when their arrival at every known busy
+neighbour misses that neighbour's *protected* reception windows.
+
+:class:`NeighborScheduleTracker` stores, per neighbour, the time intervals
+during which the neighbour must receive cleanly (derived by the protocol
+from overheard RTS/CTS/Data frames).  :meth:`is_send_safe` then checks a
+candidate off-slot transmission against every tracked window using the
+sender's learned one-hop delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProtectedInterval:
+    """A window during which a neighbour must not receive foreign energy."""
+
+    start: float
+    end: float
+    reason: str = ""
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return self.start < end and self.end > start
+
+
+class NeighborScheduleTracker:
+    """Protected reception windows of a node's neighbours."""
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._windows: Dict[int, List[ProtectedInterval]] = {}
+
+    def protect(self, node_id: int, start: float, end: float, reason: str = "") -> None:
+        """Mark [start, end) as a protected reception window of ``node_id``."""
+        if node_id == self.owner_id:
+            return
+        if end <= start:
+            return
+        self._windows.setdefault(node_id, []).append(ProtectedInterval(start, end, reason))
+
+    def windows_of(self, node_id: int) -> List[ProtectedInterval]:
+        return list(self._windows.get(node_id, []))
+
+    def purge(self, now: float) -> None:
+        """Drop windows that ended in the past."""
+        for node_id in list(self._windows):
+            kept = [w for w in self._windows[node_id] if w.end > now]
+            if kept:
+                self._windows[node_id] = kept
+            else:
+                del self._windows[node_id]
+
+    def is_send_safe(
+        self,
+        send_time: float,
+        duration: float,
+        neighbor_delays: Mapping[int, float],
+        exclude: Iterable[int] = (),
+    ) -> bool:
+        """Would an off-slot transmission disturb any tracked neighbour?
+
+        Args:
+            send_time: When the transmission starts.
+            duration: Its on-air duration.
+            neighbor_delays: Learned one-hop delays; only neighbours with a
+                known delay can be (and are) checked — the paper's
+                protocols can only reason about neighbours they know.
+            exclude: Node ids exempt from the check (the extra peer itself,
+                whose windows the peer-side grant logic validates).
+
+        Returns:
+            True if no known protected window is hit.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        excluded = set(exclude)
+        for node_id, windows in self._windows.items():
+            if node_id in excluded:
+                continue
+            delay = neighbor_delays.get(node_id)
+            if delay is None:
+                continue
+            arrive_start = send_time + delay
+            arrive_end = arrive_start + duration
+            for window in windows:
+                if window.overlaps(arrive_start, arrive_end):
+                    return False
+        return True
+
+    def blocking_conflicts(
+        self,
+        send_time: float,
+        duration: float,
+        neighbor_delays: Mapping[int, float],
+        exclude: Iterable[int] = (),
+    ) -> List[Tuple[int, ProtectedInterval]]:
+        """Diagnostic variant of :meth:`is_send_safe`: list every conflict."""
+        excluded = set(exclude)
+        conflicts = []
+        for node_id, windows in self._windows.items():
+            if node_id in excluded:
+                continue
+            delay = neighbor_delays.get(node_id)
+            if delay is None:
+                continue
+            arrive_start = send_time + delay
+            arrive_end = arrive_start + duration
+            for window in windows:
+                if window.overlaps(arrive_start, arrive_end):
+                    conflicts.append((node_id, window))
+        return conflicts
+
+    def tracked_neighbors(self) -> List[int]:
+        return sorted(self._windows.keys())
+
+    def total_windows(self) -> int:
+        return sum(len(w) for w in self._windows.values())

@@ -1,0 +1,17 @@
+"""Exceptions raised by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class EventStateError(SimulationError):
+    """An operation was applied to an event in the wrong lifecycle state."""
+
+
+class SimulationStopped(SimulationError):
+    """Raised internally to unwind the run loop when ``stop()`` is called."""

@@ -1,0 +1,117 @@
+"""Generator-based processes on top of the callback kernel.
+
+A process is a Python generator that yields :class:`Delay` (or a plain
+number of seconds).  The adapter resumes the generator when the delay
+elapses.  This style suits strictly sequential components such as traffic
+sources::
+
+    def source(sim, node, mean_gap):
+        rng = sim.streams.get(f"traffic.{node.node_id}")
+        while True:
+            yield Delay(rng.exponential(mean_gap))
+            node.enqueue_data()
+
+    Process(sim, source(sim, node, 2.0))
+
+Processes may also yield :class:`WaitSignal` to block on a named
+:class:`Signal` that another component fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, List, Optional, Union
+
+from .errors import SimulationError
+from .events import Event
+from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yield value: resume the process after ``seconds`` of virtual time."""
+
+    seconds: float
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    :meth:`fire` wakes every currently waiting process with an optional
+    payload (delivered as the value of the ``yield``).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self._sim = sim
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all waiters; returns how many processes were woken."""
+        waiters, self._waiters = self._waiters, []
+        self.fire_count += 1
+        for proc in waiters:
+            # Wake at the current instant; scheduling (rather than resuming
+            # inline) keeps the event ordering uniform and re-entrancy safe.
+            self._sim.schedule(0.0, proc._resume, payload)
+        return len(waiters)
+
+
+@dataclass(frozen=True)
+class WaitSignal:
+    """Yield value: block until ``signal`` fires; receives its payload."""
+
+    signal: Signal
+
+
+YieldValue = Union[Delay, WaitSignal, int, float]
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The process starts at the current simulation time (its first segment
+    runs via a zero-delay event).  Terminates when the generator returns or
+    :meth:`interrupt` is called.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[YieldValue, Any, Any]):
+        self._sim = sim
+        self._gen = generator
+        self._pending: Optional[Event] = None
+        self.alive = True
+        self._pending = sim.schedule(0.0, self._resume, None)
+
+    def interrupt(self) -> None:
+        """Stop the process; its generator is closed immediately."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._sim.cancel(self._pending)
+        self._pending = None
+        self._gen.close()
+
+    def _resume(self, payload: Any) -> None:
+        if not self.alive:
+            return
+        self._pending = None
+        try:
+            yielded = self._gen.send(payload)
+        except StopIteration:
+            self.alive = False
+            return
+        if isinstance(yielded, (int, float)):
+            yielded = Delay(float(yielded))
+        if isinstance(yielded, Delay):
+            if yielded.seconds < 0:
+                self.alive = False
+                raise SimulationError(
+                    f"process yielded negative delay {yielded.seconds!r}"
+                )
+            self._pending = self._sim.schedule(yielded.seconds, self._resume, None)
+        elif isinstance(yielded, WaitSignal):
+            yielded.signal._waiters.append(self)
+        else:
+            self.alive = False
+            raise SimulationError(f"process yielded unsupported value {yielded!r}")

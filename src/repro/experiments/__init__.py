@@ -1,0 +1,39 @@
+"""Experiment harness: Table 2 configs, scenarios, sweeps, figure runners."""
+
+from .config import TABLE2, ScenarioConfig, table2_config
+from .figures import ALL_FIGURES, PAPER_EXPECTATIONS, FigureData
+from .report import format_figure, write_csv
+from .ablations import ALL_ABLATIONS
+from .scenario import Scenario, ScenarioResult, run_batch_scenario, run_scenario
+from .sweeps import PAPER_PROTOCOLS, SweepSpec, aggregate, aggregate_relative, run_sweep
+from .timeline import (
+    TimelineEntry,
+    extra_exploitation_summary,
+    extract_timeline,
+    format_timeline,
+)
+
+__all__ = [
+    "ALL_ABLATIONS",
+    "ALL_FIGURES",
+    "FigureData",
+    "TimelineEntry",
+    "extra_exploitation_summary",
+    "extract_timeline",
+    "format_timeline",
+    "PAPER_EXPECTATIONS",
+    "PAPER_PROTOCOLS",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SweepSpec",
+    "TABLE2",
+    "aggregate",
+    "aggregate_relative",
+    "format_figure",
+    "run_batch_scenario",
+    "run_scenario",
+    "run_sweep",
+    "table2_config",
+    "write_csv",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.experiments <figure>`` — see :mod:`repro.experiments.cli`."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Command-line entry point: regenerate any paper figure.
+
+Examples::
+
+    repro-uasn fig6                  # full Fig. 6 sweep, 3 seeds
+    repro-uasn fig8 --quick          # scaled-down Fig. 8
+    repro-uasn all --quick --csv out # everything, CSVs into ./out
+    repro-uasn table2                # print the Table 2 defaults
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .ablations import ALL_ABLATIONS
+from .config import TABLE2
+from .figures import ALL_FIGURES
+from .report import format_figure, write_csv
+
+_RUNNERS = {**ALL_FIGURES, **ALL_ABLATIONS}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-uasn",
+        description="Reproduce the EW-MAC paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_RUNNERS) + ["all", "ablations", "table2", "report"],
+        help="figure or ablation to regenerate ('all' = paper figures, "
+        "'ablations' = every ablation, 'report' = rebuild EXPERIMENTS.md "
+        "from the --csv directory)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="EXPERIMENTS.md",
+        metavar="FILE",
+        help="output path for the 'report' target",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="number of replication seeds (default 3)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down run (coarse axis, 1 seed)"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, metavar="DIR", help="also write CSVs here"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print per-run progress"
+    )
+    parser.add_argument(
+        "--chart", action="store_true", help="also render ASCII line charts"
+    )
+    return parser
+
+
+def _print_table2() -> None:
+    print("Table 2. Simulation parameters")
+    for key, value in TABLE2.items():
+        print(f"  {key:28s} {value}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "table2":
+        _print_table2()
+        return 0
+    if args.target == "report":
+        if not args.csv:
+            print("report needs --csv DIR (where the figure CSVs live)", file=sys.stderr)
+            return 2
+        from .comparison import build_comparison_markdown
+        from .experiments_doc import build_experiments_md
+
+        text = build_experiments_md(Path(args.csv))
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out}")
+        return 0
+    if args.target == "all":
+        targets = sorted(ALL_FIGURES)
+    elif args.target == "ablations":
+        targets = sorted(ALL_ABLATIONS)
+    else:
+        targets = [args.target]
+    progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) if args.verbose else None
+    seeds = tuple(range(1, args.seeds + 1))
+    for target in targets:
+        runner = _RUNNERS[target]
+        data = runner(seeds=seeds, quick=args.quick, progress=progress)
+        print(format_figure(data))
+        if args.chart:
+            from ..analysis.charts import figure_chart
+
+            print(figure_chart(data))
+        if args.csv:
+            path = write_csv(data, Path(args.csv) / f"{target}.csv")
+            print(f"  csv: {path}\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

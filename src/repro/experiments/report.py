@@ -1,0 +1,55 @@
+"""Rendering figure data as ASCII tables and CSV files."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Union
+
+from .figures import FigureData
+
+
+def format_figure(data: FigureData, precision: int = 4) -> str:
+    """Render a :class:`FigureData` as a readable ASCII table."""
+    protocols = list(data.series.keys())
+    header = [data.x_label] + protocols
+    rows = []
+    for index, x in enumerate(data.x_values):
+        row = [_fmt(x, precision)] + [
+            _fmt(data.series[p][index], precision) for p in protocols
+        ]
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(r[col]) for r in rows)) for col in range(len(header))
+    ]
+    out = io.StringIO()
+    out.write(f"{data.figure_id}: {data.title}\n")
+    out.write(f"  y: {data.y_label}\n")
+    divider = "-+-".join("-" * w for w in widths)
+    out.write("  " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + "\n")
+    out.write("  " + divider + "\n")
+    for row in rows:
+        out.write("  " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    if data.notes:
+        out.write(f"  paper: {data.notes}\n")
+    return out.getvalue()
+
+
+def _fmt(value: float, precision: int) -> str:
+    if value == int(value) and abs(value) >= 1:
+        return str(int(value))
+    return f"{value:.{precision}g}"
+
+
+def write_csv(data: FigureData, path: Union[str, Path]) -> Path:
+    """Write the figure's series as a CSV file; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    protocols = list(data.series.keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([data.x_label] + protocols)
+        for index, x in enumerate(data.x_values):
+            writer.writerow([x] + [data.series[p][index] for p in protocols])
+    return path

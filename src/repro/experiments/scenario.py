@@ -1,0 +1,265 @@
+"""Scenario assembly: wire every substrate into a runnable simulation.
+
+:class:`Scenario` builds, from a :class:`ScenarioConfig`: the DES kernel,
+the acoustic channel, a connected water-column deployment, one node +
+modem + MAC per sensor, depth routing, mobility, and a traffic source.
+It then runs either the Poisson steady-state experiment (Figs. 6/7/9/10/11)
+or the batch-drain experiment (Fig. 8), and produces a
+:class:`ScenarioResult` with every paper metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..des.rng import derive_seed
+from ..des.simulator import Simulator
+from ..des.trace import Tracer
+from ..energy.model import EnergyReport, PowerModel, network_energy
+from ..mac.base import SlottedMac
+from ..mac.registry import get_protocol
+from ..mac.slots import make_slot_timing
+from ..metrics.efficiency import EfficiencyIndex, efficiency_index
+from ..metrics.execution import ExecutionResult, mean_delivery_delay_s, run_until_drained
+from ..metrics.overhead import OverheadReport, network_overhead
+from ..metrics.throughput import ThroughputReport, network_throughput
+from ..metrics.utilization import UtilizationReport, network_utilization
+from ..net.clock import NodeClock
+from ..net.node import Node
+from ..phy.channel import AcousticChannel
+from ..topology.deployment import DeploymentConfig, connected_column_deployment
+from ..topology.mobility import MobilityManager
+from ..topology.routing import DepthRouting
+from ..traffic.generators import BatchWorkload, PoissonTraffic
+from .config import ScenarioConfig
+
+
+@dataclass
+class ScenarioResult:
+    """Every metric the paper's figures consume, for one run."""
+
+    protocol: str
+    config: ScenarioConfig
+    throughput: ThroughputReport
+    energy: EnergyReport
+    overhead: OverheadReport
+    efficiency: EfficiencyIndex
+    utilization: UtilizationReport
+    collisions: int
+    mean_delay_s: float
+    execution: Optional[ExecutionResult] = None
+    extra_completed: int = 0
+    offered_bits: int = 0
+
+    @property
+    def throughput_kbps(self) -> float:
+        return self.throughput.kbps
+
+    @property
+    def power_mw(self) -> float:
+        return self.energy.average_power_mw
+
+    @property
+    def overhead_units(self) -> float:
+        return self.overhead.total_units
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON-friendly summary (for EXPERIMENTS.md tooling / CI)."""
+        summary: Dict[str, object] = {
+            "protocol": self.protocol,
+            "offered_load_kbps": self.config.offered_load_kbps,
+            "n_sensors": self.config.n_sensors,
+            "seed": self.config.seed,
+            "throughput_kbps": self.throughput_kbps,
+            "power_mw": self.power_mw,
+            "efficiency": self.efficiency.value,
+            "overhead_units": self.overhead_units,
+            "data_utilization": self.utilization.data_utilization,
+            "airtime_utilization": self.utilization.airtime_utilization,
+            "collisions": self.collisions,
+            "mean_delay_s": self.mean_delay_s,
+            "extra_completed": self.extra_completed,
+            "offered_bits": self.offered_bits,
+        }
+        if self.execution is not None:
+            summary["drain_time_s"] = self.execution.drain_time_s
+            summary["timed_out"] = self.execution.timed_out
+        return summary
+
+
+class Scenario:
+    """A fully wired simulation instance."""
+
+    def __init__(self, config: ScenarioConfig, power: Optional[PowerModel] = None):
+        self.config = config
+        self.power = power if power is not None else PowerModel()
+        tracer = Tracer() if config.trace else None
+        self.sim = Simulator(seed=config.seed, tracer=tracer)
+        self.deployment = connected_column_deployment(
+            DeploymentConfig(
+                n_sensors=config.n_sensors,
+                n_sinks=config.n_sinks,
+                side_x_m=config.side_m,
+                side_y_m=config.side_m,
+                depth_m=config.side_m,
+                comm_range_m=config.comm_range_m,
+                seed=derive_seed(config.seed, "deployment"),
+            )
+        )
+        self.channel = AcousticChannel(
+            self.sim,
+            bitrate_bps=config.bitrate_bps,
+            max_range_m=config.comm_range_m,
+            interference_range_factor=config.interference_range_factor,
+        )
+        self.timing = make_slot_timing(
+            bitrate_bps=config.bitrate_bps,
+            control_bits=config.control_bits,
+            max_range_m=config.comm_range_m,
+            speed_mps=config.sound_speed_mps,
+        )
+        sink_set = set(self.deployment.sink_ids)
+        clock_rng = self.sim.streams.get("clocks")
+        self.nodes: List[Node] = [
+            Node(
+                self.sim,
+                node_id,
+                position,
+                self.channel,
+                is_sink=node_id in sink_set,
+                queue_limit=config.queue_limit,
+                clock=NodeClock(
+                    self.sim,
+                    offset_s=(
+                        float(clock_rng.normal(0.0, config.clock_offset_std_s))
+                        if config.clock_offset_std_s > 0
+                        else 0.0
+                    ),
+                ),
+            )
+            for node_id, position in enumerate(self.deployment.positions)
+        ]
+        protocol_cls = get_protocol(config.protocol)
+        self.macs: List[SlottedMac] = [
+            protocol_cls(self.sim, node, self.channel, self.timing)
+            for node in self.nodes
+        ]
+        if config.max_retries is not None:
+            for mac in self.macs:
+                mac.config.max_retries = config.max_retries
+        self.routing = DepthRouting(self.channel, self.deployment.sink_ids)
+        if config.forwarding:
+            for mac in self.macs:
+                mac.on_data_delivered = self._forward
+        self.mobility: Optional[MobilityManager] = None
+        if config.mobility:
+            self.mobility = MobilityManager(
+                self.sim,
+                self.nodes,
+                self.deployment.config,
+                rng=self.sim.streams.get("mobility"),
+            )
+        self.traffic: Optional[PoissonTraffic] = None
+        self.batch: Optional[BatchWorkload] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def _forward(self, node: Node, src: int, size_bits: int) -> None:
+        """Multi-hop relay: received data continues toward the surface."""
+        if node.is_sink:
+            return
+        next_hop = self.routing.next_hop(node.node_id)
+        if next_hop is not None and next_hop != src:
+            node.enqueue_data(next_hop, size_bits)
+
+    def _start_common(self) -> None:
+        if self._started:
+            raise RuntimeError("scenario already started")
+        self._started = True
+        for mac in self.macs:
+            mac.start()
+        if self.mobility is not None:
+            self.mobility.start()
+
+    # ------------------------------------------------------------------
+    def run_steady_state(self) -> ScenarioResult:
+        """Poisson offered load over the Table 2 window (Figs. 6/7/9/10/11)."""
+        config = self.config
+        self._start_common()
+        self.traffic = PoissonTraffic(
+            self.sim,
+            self.nodes,
+            self.routing,
+            offered_load_kbps=config.offered_load_kbps,
+            packet_bits=config.data_packet_bits,
+            rng=self.sim.streams.get("traffic"),
+        )
+        self.sim.schedule_at(config.warmup_s, self.traffic.start)
+        self.sim.run(until=config.warmup_s + config.sim_time_s)
+        return self._collect(duration_s=config.sim_time_s)
+
+    def run_batch(self, n_packets: int, max_time_s: float) -> ScenarioResult:
+        """Fixed batch drained to completion (Fig. 8 execution time)."""
+        config = self.config
+        self._start_common()
+        self.batch = BatchWorkload(
+            self.sim,
+            self.nodes,
+            self.routing,
+            n_packets=n_packets,
+            packet_bits=config.data_packet_bits,
+            rng=self.sim.streams.get("traffic"),
+        )
+        self.batch.attach_drop_counter(
+            lambda: sum(m.stats.drops for m in self.macs)
+        )
+        self.sim.schedule_at(config.warmup_s, self.batch.start)
+        self.sim.run(until=config.warmup_s + 1e-6)
+        execution = run_until_drained(self.sim, self.batch, max_time_s=max_time_s)
+        duration = max(execution.drain_time_s - config.warmup_s, 1e-6)
+        result = self._collect(duration_s=duration)
+        result.execution = execution
+        return result
+
+    # ------------------------------------------------------------------
+    def _collect(self, duration_s: float) -> ScenarioResult:
+        throughput = network_throughput(self.macs, duration_s)
+        energy = network_energy(self.macs, duration_s, self.power)
+        overhead = network_overhead(self.macs)
+        collisions = sum(m.node.modem.stats.rx_collision for m in self.macs)
+        extra = sum(
+            getattr(getattr(m, "extra_stats", None), "completed", 0) for m in self.macs
+        )
+        offered = 0
+        if self.traffic is not None:
+            offered = self.traffic.stats.bits
+        elif self.batch is not None:
+            offered = self.batch.stats.bits
+        return ScenarioResult(
+            protocol=self.config.protocol,
+            config=self.config,
+            throughput=throughput,
+            energy=energy,
+            overhead=overhead,
+            efficiency=efficiency_index(throughput, energy),
+            utilization=network_utilization(
+                self.macs, duration_s, self.config.bitrate_bps
+            ),
+            collisions=collisions,
+            mean_delay_s=mean_delivery_delay_s(self.nodes),
+            extra_completed=extra,
+            offered_bits=offered,
+        )
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run one steady-state scenario."""
+    return Scenario(config).run_steady_state()
+
+
+def run_batch_scenario(
+    config: ScenarioConfig, n_packets: int, max_time_s: float
+) -> ScenarioResult:
+    """Build and run one batch-drain scenario."""
+    return Scenario(config).run_batch(n_packets, max_time_s)

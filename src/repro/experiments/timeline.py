@@ -1,0 +1,100 @@
+"""Render traced packet exchanges as human-readable timelines.
+
+Used by the examples and the timeline integration tests to present what
+the paper's Figs. 2, 4 and 5 show graphically: which packets flew when,
+on or off the slot grid, and which idle periods the extra communications
+exploited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..des.simulator import Simulator
+from ..mac.slots import SlotTiming
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One transmitted frame in the rendered timeline."""
+
+    time: float
+    slot: int
+    slot_offset: float
+    node: int
+    frame: str
+
+    @property
+    def on_grid(self) -> bool:
+        return self.slot_offset < 1e-6
+
+    @property
+    def kind(self) -> str:
+        return self.frame.split()[0]
+
+
+def extract_timeline(
+    sim: Simulator,
+    timing: SlotTiming,
+    skip_kinds: Sequence[str] = ("HELLO", "NEIGH"),
+) -> List[TimelineEntry]:
+    """Collect every traced transmission as timeline entries.
+
+    Requires the simulation to have run with a real tracer
+    (``Simulator(tracer=Tracer())``); returns an empty list otherwise.
+    """
+    skip = set(skip_kinds)
+    entries = []
+    for record in sim.trace.select("phy.tx"):
+        frame = record.detail["frame"]
+        if frame.split()[0] in skip:
+            continue
+        slot = timing.slot_index(record.time)
+        entries.append(
+            TimelineEntry(
+                time=record.time,
+                slot=slot,
+                slot_offset=timing.time_into_slot(record.time),
+                node=record.node,
+                frame=frame,
+            )
+        )
+    return entries
+
+
+def format_timeline(
+    entries: Sequence[TimelineEntry],
+    labels: Optional[Dict[int, str]] = None,
+) -> str:
+    """Render entries as an aligned text table."""
+    lines = [f"{'time':>10s} {'slot':>5s} {'offset':>9s}  {'node':12s} event"]
+    lines.append("-" * 64)
+    for entry in entries:
+        grid = "on-grid" if entry.on_grid else f"+{entry.slot_offset:.3f}s"
+        label = labels.get(entry.node, f"n{entry.node}") if labels else f"n{entry.node}"
+        lines.append(
+            f"{entry.time:10.4f} {entry.slot:5d} {grid:>9s}  {label:12s} sends {entry.frame}"
+        )
+    return "\n".join(lines)
+
+
+def extra_exploitation_summary(entries: Sequence[TimelineEntry]) -> Dict[str, int]:
+    """Count on-grid vs off-grid transmissions by frame family.
+
+    The paper's core claim in one table: negotiated packets ride the slot
+    grid; EXR/EXC/EXData/EXAck live strictly *off* it, in the waiting
+    periods.
+    """
+    summary = {
+        "negotiated_on_grid": 0,
+        "negotiated_off_grid": 0,
+        "extra_on_grid": 0,
+        "extra_off_grid": 0,
+    }
+    extra_kinds = {"EXR", "EXC", "EXDATA", "EXACK"}
+    for entry in entries:
+        family = "extra" if entry.kind in extra_kinds else "negotiated"
+        grid = "on_grid" if entry.on_grid else "off_grid"
+        summary[f"{family}_{grid}"] += 1
+    return summary

@@ -1,0 +1,59 @@
+"""Protocol registry: name -> MAC factory.
+
+The experiment harness selects protocols by name; registering here makes a
+protocol available to every figure sweep and to the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from .base import SlottedMac
+from .csmac import CsMac
+from .ropa import Ropa
+from .sfama import SFama
+
+_REGISTRY: Dict[str, Type[SlottedMac]] = {}
+
+
+def _ensure_builtins() -> None:
+    """Register built-in protocols, importing EW-MAC lazily.
+
+    EW-MAC lives in :mod:`repro.core.ewmac`, which itself imports
+    :mod:`repro.mac.base`; importing it at module scope would be circular.
+    """
+    if _REGISTRY:
+        return
+    from ..core.ewmac import EwMac  # local import breaks the cycle
+    from .aloha import SlottedAloha
+
+    for cls in (SFama, Ropa, CsMac, EwMac, SlottedAloha):
+        register(cls)
+
+
+def register(cls: Type[SlottedMac]) -> Type[SlottedMac]:
+    """Register a protocol class under its :attr:`name`."""
+    key = cls.name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not cls:
+        raise ValueError(f"protocol name {cls.name!r} already registered")
+    _REGISTRY[key] = cls
+    return cls
+
+
+def get_protocol(name: str) -> Type[SlottedMac]:
+    """Look up a protocol class by (case-insensitive) name."""
+    _ensure_builtins()
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}")
+    return _REGISTRY[key]
+
+
+def protocol_names() -> List[str]:
+    """Registered protocol display names, paper order first."""
+    _ensure_builtins()
+    paper_order = ["s-fama", "ropa", "cs-mac", "ew-mac"]
+    ordered = [k for k in paper_order if k in _REGISTRY]
+    ordered += sorted(k for k in _REGISTRY if k not in paper_order)
+    return [_REGISTRY[k].name for k in ordered]

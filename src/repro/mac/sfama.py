@@ -1,0 +1,21 @@
+"""Slotted FAMA (Molins & Stojanovic 2006) — the paper's baseline.
+
+S-FAMA is exactly the shared slotted engine with no opportunistic reuse:
+every handshake reserves whole ``tau_max + omega`` slots, overhearers stay
+quiet for the full reserved span, and a failed contention simply backs off.
+It keeps no neighbour state beyond what the engine learns passively and
+never broadcasts maintenance frames — the paper uses it as the overhead
+baseline ("S-FAMA does not require additional computation or storage").
+"""
+
+from __future__ import annotations
+
+from .base import SlottedMac
+
+
+class SFama(SlottedMac):
+    """Slotted FAMA: the unmodified four-way handshake engine."""
+
+    name = "S-FAMA"
+    uses_two_hop_info = False
+    requires_neighbor_info = False

@@ -1,0 +1,42 @@
+"""Efficiency index (paper Eq. 4 and Fig. 11).
+
+``E_A = TPT_A / PC_A`` — throughput per unit power.  The paper plots each
+protocol's index normalized so S-FAMA equals 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.model import EnergyReport
+from .throughput import ThroughputReport
+
+
+@dataclass(frozen=True)
+class EfficiencyIndex:
+    """Eq. (4) for one protocol run."""
+
+    throughput_kbps: float
+    power_mw: float
+
+    @property
+    def value(self) -> float:
+        """Raw TPT/PC (kbps per mW); 0 when no power was drawn."""
+        if self.power_mw <= 0:
+            return 0.0
+        return self.throughput_kbps / self.power_mw
+
+    def relative_to(self, baseline: "EfficiencyIndex") -> float:
+        """Fig. 11 y-axis: this index with the baseline (S-FAMA) at 1.0."""
+        if baseline.value <= 0:
+            raise ValueError("baseline efficiency must be positive")
+        return self.value / baseline.value
+
+
+def efficiency_index(
+    throughput: ThroughputReport, energy: EnergyReport
+) -> EfficiencyIndex:
+    """Build Eq. (4) from the throughput and energy reports."""
+    return EfficiencyIndex(
+        throughput_kbps=throughput.kbps, power_mw=energy.average_power_mw
+    )

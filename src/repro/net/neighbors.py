@@ -1,0 +1,166 @@
+"""One-hop (and, for the baselines, two-hop) neighbour knowledge.
+
+EW-MAC's stated overhead advantage (paper Sec. 4.3 and 5.3) is that each
+sensor maintains *only* the propagation delay of its one-hop neighbours,
+refreshed opportunistically from the timestamp carried in every received
+packet: ``delay = arrival_time - frame.timestamp``.  No periodic two-hop
+broadcasts are needed.
+
+ROPA and CS-MAC, by contrast, "must maintain and transmit two-hop neighbor
+information"; :class:`TwoHopTable` models that state, and the MAC layers
+charge its periodic refresh traffic to the overhead accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class NeighborInfo:
+    """What a node knows about one neighbour."""
+
+    node_id: int
+    delay_s: float
+    last_updated: float
+    updates: int = 1
+
+
+class NeighborTable:
+    """Propagation-delay table for one-hop neighbours.
+
+    Args:
+        owner_id: The owning node's id (rejects self-entries).
+        smoothing: EWMA weight on the newest measurement in (0, 1]; 1.0
+            (default) means "trust the latest measurement", appropriate for
+            slowly drifting topologies where the newest sample is best.
+        staleness_s: Entries older than this are excluded from
+            :meth:`fresh_neighbors` (None disables expiry).
+    """
+
+    def __init__(
+        self,
+        owner_id: int,
+        smoothing: float = 1.0,
+        staleness_s: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.owner_id = owner_id
+        self.smoothing = smoothing
+        self.staleness_s = staleness_s
+        self._entries: Dict[int, NeighborInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def observe(self, node_id: int, delay_s: float, now: float) -> None:
+        """Record a delay measurement for ``node_id`` taken at ``now``.
+
+        Called for every received frame: measurement = arrival start minus
+        the frame's embedded timestamp (paper Sec. 4.3).
+        """
+        if node_id == self.owner_id:
+            raise ValueError("a node is not its own neighbour")
+        if delay_s < 0:
+            raise ValueError(f"negative measured delay {delay_s!r}")
+        entry = self._entries.get(node_id)
+        if entry is None:
+            self._entries[node_id] = NeighborInfo(node_id, delay_s, now)
+        else:
+            entry.delay_s += self.smoothing * (delay_s - entry.delay_s)
+            entry.last_updated = now
+            entry.updates += 1
+
+    def delay_to(self, node_id: int) -> Optional[float]:
+        """Known propagation delay to ``node_id``, or None if unknown."""
+        entry = self._entries.get(node_id)
+        return entry.delay_s if entry is not None else None
+
+    def info(self, node_id: int) -> Optional[NeighborInfo]:
+        return self._entries.get(node_id)
+
+    def neighbors(self) -> List[int]:
+        """All known neighbour ids (unordered)."""
+        return list(self._entries.keys())
+
+    def fresh_neighbors(self, now: float) -> List[int]:
+        """Neighbour ids whose entries are within the staleness bound."""
+        if self.staleness_s is None:
+            return self.neighbors()
+        return [
+            nid
+            for nid, e in self._entries.items()
+            if now - e.last_updated <= self.staleness_s
+        ]
+
+    def max_delay_s(self) -> float:
+        """Largest known neighbour delay (0.0 when table is empty)."""
+        if not self._entries:
+            return 0.0
+        return max(e.delay_s for e in self._entries.values())
+
+    def forget(self, node_id: int) -> None:
+        self._entries.pop(node_id, None)
+
+    def memory_entries(self) -> int:
+        """Number of stored entries (overhead accounting)."""
+        return len(self._entries)
+
+
+class TwoHopTable:
+    """Two-hop neighbourhood state maintained by ROPA and CS-MAC.
+
+    Stores, per one-hop neighbour *n*, the set of *n*'s neighbours together
+    with *n*'s delays to them (as last announced by *n*).  The owning MAC
+    charges the periodic announcements that keep this fresh to its overhead.
+    """
+
+    def __init__(self, owner_id: int) -> None:
+        self.owner_id = owner_id
+        self._links: Dict[int, Dict[int, float]] = {}
+        self._last_announce: Dict[int, float] = {}
+
+    def record_announcement(
+        self, neighbor_id: int, links: Iterable[Tuple[int, float]], now: float
+    ) -> None:
+        """Store neighbour ``neighbor_id``'s announced one-hop link delays.
+
+        An announcement carries the neighbour's *complete current* table, so
+        it replaces (not merges with) the previous announcement — otherwise
+        mobility would make the stored two-hop state grow without bound.
+        """
+        table = {
+            other: delay for other, delay in links if other != self.owner_id
+        }
+        self._links[neighbor_id] = table
+        self._last_announce[neighbor_id] = now
+
+    def links_of(self, neighbor_id: int) -> Dict[int, float]:
+        """Announced link delays of one neighbour (empty dict if none)."""
+        return dict(self._links.get(neighbor_id, {}))
+
+    def delay_between(self, a: int, b: int) -> Optional[float]:
+        """Announced delay of link a-b, from either endpoint's announcement."""
+        if a in self._links and b in self._links[a]:
+            return self._links[a][b]
+        if b in self._links and a in self._links[b]:
+            return self._links[b][a]
+        return None
+
+    def two_hop_ids(self) -> List[int]:
+        """Every node reachable in exactly two announced hops."""
+        seen = set()
+        for neighbor_id, links in self._links.items():
+            for other in links:
+                if other != self.owner_id and other != neighbor_id:
+                    seen.add(other)
+        return sorted(seen)
+
+    def memory_entries(self) -> int:
+        """Stored link count (overhead accounting: CS-MAC/ROPA memory)."""
+        return sum(len(links) for links in self._links.values())

@@ -1,0 +1,165 @@
+"""Sensor nodes.
+
+A :class:`Node` ties together the pieces one underwater sensor owns: a
+position in the water column, a half-duplex modem, a local clock, the
+one-hop neighbour table, and a FIFO of application data waiting for the MAC
+layer.  Sinks (surface buoys, paper Fig. 1) are ordinary nodes flagged
+``is_sink``; they generate no traffic and terminate deliveries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+_request_uids = itertools.count(1)
+
+from ..acoustic.geometry import Position
+from ..des.simulator import Simulator
+from ..phy.channel import AcousticChannel
+from ..phy.modem import AcousticModem
+from .clock import NodeClock
+from .neighbors import NeighborTable
+
+
+@dataclass
+class DataRequest:
+    """One application packet waiting to be sent.
+
+    Attributes:
+        dst: Next-hop destination node id.
+        size_bits: Payload size in bits.
+        created_at: Enqueue time (for delay metrics).
+        attempts: How many contention attempts this request has consumed.
+    """
+
+    dst: int
+    size_bits: int
+    created_at: float
+    attempts: int = 0
+    uid: int = field(default_factory=lambda: next(_request_uids))
+
+
+@dataclass
+class AppStats:
+    """Application-level counters for one node."""
+
+    generated: int = 0
+    generated_bits: int = 0
+    sent: int = 0
+    sent_bits: int = 0
+    delivered: int = 0
+    delivered_bits: int = 0
+    delivery_delay_total_s: float = 0.0
+    queue_drops: int = 0
+    last_sent_at: float = 0.0
+
+
+class Node:
+    """One sensor (or sink) in the network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        position: Position,
+        channel: AcousticChannel,
+        is_sink: bool = False,
+        queue_limit: int = 1000,
+        clock: Optional[NodeClock] = None,
+        neighbor_smoothing: float = 1.0,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.position = position
+        self.is_sink = is_sink
+        self.queue_limit = queue_limit
+        self.clock = clock if clock is not None else NodeClock(sim)
+        self.neighbors = NeighborTable(node_id, smoothing=neighbor_smoothing)
+        self.queue: Deque[DataRequest] = deque()
+        self.app_stats = AppStats()
+        self.modem: AcousticModem = channel.create_modem(node_id, lambda: self.position)
+        self.mac = None  # attached by the MAC layer
+
+    # ------------------------------------------------------------------
+    # Application-side interface
+    # ------------------------------------------------------------------
+    def enqueue_data(self, dst: int, size_bits: int) -> bool:
+        """Queue an application packet for the MAC; False if queue is full."""
+        if dst == self.node_id:
+            raise ValueError("cannot send to self")
+        if size_bits <= 0:
+            raise ValueError("size must be positive")
+        self.app_stats.generated += 1
+        self.app_stats.generated_bits += size_bits
+        if len(self.queue) >= self.queue_limit:
+            self.app_stats.queue_drops += 1
+            return False
+        self.queue.append(DataRequest(dst, size_bits, self.sim.now))
+        if self.mac is not None:
+            self.mac.notify_queue()
+        return True
+
+    def note_sent(self, request: DataRequest) -> None:
+        """MAC callback: ``request`` was acknowledged by its next hop."""
+        self.app_stats.sent += 1
+        self.app_stats.sent_bits += request.size_bits
+        self.app_stats.delivery_delay_total_s += self.sim.now - request.created_at
+        self.app_stats.last_sent_at = self.sim.now
+
+    def note_delivered(self, size_bits: int) -> None:
+        """MAC callback on the *receiver*: a data packet arrived intact."""
+        self.app_stats.delivered += 1
+        self.app_stats.delivered_bits += size_bits
+
+    # ------------------------------------------------------------------
+    # Queue inspection used by MAC layers
+    # ------------------------------------------------------------------
+    @property
+    def has_pending_data(self) -> bool:
+        return bool(self.queue)
+
+    def peek_request(self) -> Optional[DataRequest]:
+        """Head-of-line request without removing it."""
+        return self.queue[0] if self.queue else None
+
+    def pop_request(self) -> DataRequest:
+        """Remove and return the head-of-line request."""
+        return self.queue.popleft()
+
+    def pending_for(self, dst: int) -> Optional[DataRequest]:
+        """First queued request destined to ``dst`` (ROPA reverse traffic)."""
+        for request in self.queue:
+            if request.dst == dst:
+                return request
+        return None
+
+    def remove_request(self, request: DataRequest) -> None:
+        """Remove a specific request (after out-of-order service)."""
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self.modem.enabled
+
+    def fail(self) -> None:
+        """Kill the node: stop its MAC and silence its modem.
+
+        Queued data is lost with the node (it sank, flooded, or ran out of
+        battery); the rest of the network must route around it.
+        """
+        if self.mac is not None:
+            self.mac.stop()
+        self.modem.enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "sink" if self.is_sink else "node"
+        return f"<{kind} {self.node_id} depth={self.position.z:.0f}m q={len(self.queue)}>"

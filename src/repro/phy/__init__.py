@@ -1,0 +1,31 @@
+"""PHY layer: frames, half-duplex modems and the broadcast channel."""
+
+from .channel import DEFAULT_BITRATE_BPS, DEFAULT_RANGE_M, AcousticChannel, ChannelStats
+from .frame import (
+    BROADCAST,
+    CONTROL_PACKET_BITS,
+    DEFAULT_DATA_PACKET_BITS,
+    Frame,
+    FrameType,
+    control_frame,
+    data_frame,
+)
+from .modem import AcousticModem, Arrival, ModemStats, RxOutcome
+
+__all__ = [
+    "AcousticChannel",
+    "AcousticModem",
+    "Arrival",
+    "BROADCAST",
+    "CONTROL_PACKET_BITS",
+    "ChannelStats",
+    "DEFAULT_BITRATE_BPS",
+    "DEFAULT_DATA_PACKET_BITS",
+    "DEFAULT_RANGE_M",
+    "Frame",
+    "FrameType",
+    "ModemStats",
+    "RxOutcome",
+    "control_frame",
+    "data_frame",
+]

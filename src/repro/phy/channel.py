@@ -1,0 +1,179 @@
+"""Shared broadcast acoustic medium.
+
+The channel connects every registered modem: a transmission is delivered to
+each other modem within reception range as an :class:`Arrival` whose start
+is offset by the pair's propagation delay and whose level comes from the
+link budget.  Node positions are supplied by callables so mobility models
+can move nodes without the channel knowing about them.
+
+Range semantics follow the paper: a hard communication range (Table 2:
+1.5 km) bounds who can hear whom, matching "the collision occurs when two
+or more packets [from neighbours] arrive at a sensor at the same time".
+An optional ``interference_range_factor > 1`` extends delivery (at reduced
+level) to model interference reaching past the decode range — used in
+robustness ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..acoustic.fading import FadingProcess, NoFading
+from ..acoustic.geometry import Position
+from ..acoustic.per import DefaultPerModel, PerModel
+from ..acoustic.propagation import PropagationModel, StraightLinePropagation
+from ..acoustic.sinr import LinkBudget
+from ..des.events import PRIORITY_HIGH
+from ..des.simulator import Simulator
+from .frame import Frame
+from .modem import AcousticModem, Arrival
+
+#: Paper Table 2 defaults.
+DEFAULT_BITRATE_BPS = 12_000.0
+DEFAULT_RANGE_M = 1500.0
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel counters."""
+
+    broadcasts: int = 0
+    deliveries: int = 0
+    out_of_range_skips: int = 0
+
+
+class AcousticChannel:
+    """Broadcast medium binding modems, propagation and the link budget.
+
+    Args:
+        sim: The simulation kernel.
+        bitrate_bps: Channel bitrate (paper: 12 kbps).
+        max_range_m: Hard communication range (paper: 1.5 km).
+        propagation: Delay model (defaults to straight line at 1500 m/s).
+        link_budget: SINR link budget for received levels.
+        per_model: Packet error model (defaults to NS-3-style threshold).
+        interference_range_factor: Deliver (as interference) up to
+            ``factor * max_range_m``; 1.0 reproduces the paper's model.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bitrate_bps: float = DEFAULT_BITRATE_BPS,
+        max_range_m: float = DEFAULT_RANGE_M,
+        propagation: Optional[PropagationModel] = None,
+        link_budget: Optional[LinkBudget] = None,
+        per_model: Optional[PerModel] = None,
+        interference_range_factor: float = 1.0,
+        fading: Optional[FadingProcess] = None,
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        if max_range_m <= 0:
+            raise ValueError("range must be positive")
+        if interference_range_factor < 1.0:
+            raise ValueError("interference_range_factor must be >= 1")
+        self.sim = sim
+        self.bitrate_bps = bitrate_bps
+        self.max_range_m = max_range_m
+        self.propagation = propagation or StraightLinePropagation()
+        self.link_budget = link_budget or LinkBudget()
+        if per_model is None:
+            # Calibrate the decode threshold so the decode range equals the
+            # configured communication range: a lone frame decodes iff it
+            # was sent from within max_range_m, while signals from farther
+            # out (when interference_range_factor > 1) act as interference.
+            per_model = DefaultPerModel(
+                # 0.5 dB margin so a frame from exactly max_range_m decodes
+                # despite floating-point dB/linear round-trips.
+                threshold_db=self.link_budget.snr_db(max_range_m) - 0.5
+            )
+        self.per_model = per_model
+        self.interference_range_factor = interference_range_factor
+        self.fading = fading if fading is not None else NoFading()
+        self.per_rng = sim.streams.get("channel.per")
+        self.stats = ChannelStats()
+        self._members: Dict[int, Tuple[AcousticModem, Callable[[], Position]]] = {}
+
+    # ------------------------------------------------------------------
+    def create_modem(self, node_id: int, position_fn: Callable[[], Position]) -> AcousticModem:
+        """Create, register and return a modem for ``node_id``."""
+        if node_id in self._members:
+            raise ValueError(f"node id {node_id} already registered")
+        modem = AcousticModem(self.sim, node_id, self)
+        self._members[node_id] = (modem, position_fn)
+        return modem
+
+    def position_of(self, node_id: int) -> Position:
+        """Current position of a registered node."""
+        return self._members[node_id][1]()
+
+    def modem_of(self, node_id: int) -> AcousticModem:
+        return self._members[node_id][0]
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(self._members.keys())
+
+    def distance_m(self, a: int, b: int) -> float:
+        """Current geometric distance between two registered nodes."""
+        return self.position_of(a).distance_to(self.position_of(b))
+
+    def propagation_delay_s(self, a: int, b: int) -> float:
+        """Ground-truth propagation delay between two registered nodes."""
+        return self.propagation.delay_s(
+            self.position_of(a), self.position_of(b), pair=(a, b)
+        )
+
+    def neighbors_of(self, node_id: int) -> Tuple[int, ...]:
+        """Ground-truth one-hop neighbours (in decode range, alive) now."""
+        origin = self.position_of(node_id)
+        return tuple(
+            other
+            for other, (modem, pos_fn) in self._members.items()
+            if other != node_id
+            and modem.enabled
+            and origin.distance_to(pos_fn()) <= self.max_range_m
+        )
+
+    # ------------------------------------------------------------------
+    def broadcast(self, tx_modem: AcousticModem, frame: Frame, duration_s: float) -> None:
+        """Deliver ``frame`` to every modem in range, after propagation."""
+        self.stats.broadcasts += 1
+        tx_pos = self.position_of(tx_modem.node_id)
+        reach = self.max_range_m * self.interference_range_factor
+        for node_id, (modem, pos_fn) in self._members.items():
+            if node_id == tx_modem.node_id:
+                continue
+            rx_pos = pos_fn()
+            distance = tx_pos.distance_to(rx_pos)
+            if distance > reach:
+                self.stats.out_of_range_skips += 1
+                continue
+            pair = (tx_modem.node_id, node_id)
+            delay = self.propagation.delay_s(tx_pos, rx_pos, pair=pair)
+            level = self.link_budget.received_level_db(distance)
+            level += self.fading.fade_db(pair, self.sim.now)
+            arrival = Arrival(
+                frame=frame,
+                src=tx_modem.node_id,
+                start=self.sim.now + delay,
+                end=self.sim.now + delay + duration_s,
+                level_db=level,
+                delay_s=delay,
+            )
+            self.stats.deliveries += 1
+            # High priority so arrivals register before same-instant MAC logic.
+            self.sim.schedule(delay, modem.begin_arrival, arrival, priority=PRIORITY_HIGH)
+
+    # ------------------------------------------------------------------
+    def max_propagation_delay_s(self) -> float:
+        """tau_max: the delay across the full communication range."""
+        # Conservative nominal-speed estimate; protocols size slots from this
+        # (paper: "the duration of each time slot is tau_max + omega").
+        return self.max_range_m / self.propagation.speed_mps()
+
+    def control_duration_s(self, control_bits: int = 64) -> float:
+        """omega: on-air time of a control packet."""
+        return control_bits / self.bitrate_bps

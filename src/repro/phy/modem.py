@@ -1,0 +1,231 @@
+"""Half-duplex acoustic modem.
+
+Implements the paper's antenna constraints (Sec. 3.2):
+
+* "a sensor cannot transmit and receive simultaneously" — any arrival that
+  overlaps one of this modem's transmissions is lost (HALF_DUPLEX);
+* "the antenna remains in the receive state when it is not transmitting" —
+  the modem always listens, and the attached MAC receives *every*
+  successfully decoded frame, addressed to it or not (overhearing is how
+  all four protocols learn about neighbours' negotiations);
+* "the collision occurs when two or more packets arrive at a sensor at the
+  same time" — overlapping arrivals interfere; the SINR/PER models decide
+  whether either survives (with the default threshold model, overlap of
+  comparable-power arrivals destroys both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..des.simulator import Simulator
+from .frame import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import AcousticChannel
+
+
+class RxOutcome(Enum):
+    """Why an arrival was or was not decoded."""
+
+    OK = "ok"
+    HALF_DUPLEX = "half_duplex"
+    COLLISION = "collision"
+    NOISE = "noise"
+
+
+@dataclass
+class Arrival:
+    """One signal arriving at a modem.
+
+    Attributes:
+        frame: The frame carried by the signal.
+        src: Transmitting node id.
+        start: Arrival start time (tx start + propagation delay).
+        end: Arrival end time (start + on-air duration).
+        level_db: Received signal level at this modem.
+        delay_s: One-way propagation delay the signal experienced.
+    """
+
+    frame: Frame
+    src: int
+    start: float
+    end: float
+    level_db: float
+    delay_s: float
+
+
+@dataclass
+class ModemStats:
+    """Per-modem counters consumed by the metrics layer."""
+
+    tx_frames: int = 0
+    tx_bits: int = 0
+    tx_time_s: float = 0.0
+    rx_ok: int = 0
+    rx_ok_bits: int = 0
+    rx_half_duplex: int = 0
+    rx_collision: int = 0
+    rx_noise: int = 0
+    rx_busy_time_s: float = 0.0
+
+    def outcome_count(self, outcome: RxOutcome) -> int:
+        return {
+            RxOutcome.OK: self.rx_ok,
+            RxOutcome.HALF_DUPLEX: self.rx_half_duplex,
+            RxOutcome.COLLISION: self.rx_collision,
+            RxOutcome.NOISE: self.rx_noise,
+        }[outcome]
+
+
+@dataclass
+class _TxInterval:
+    start: float
+    end: float
+
+
+class AcousticModem:
+    """The half-duplex transceiver owned by one sensor node.
+
+    The MAC layer attaches via :attr:`on_receive` (called with every decoded
+    frame and its :class:`Arrival`) and optionally :attr:`on_rx_failure`
+    (called with failed arrivals, used by tests and collision metrics).
+    """
+
+    #: How long past their end tx/arrival intervals are retained for overlap
+    #: checks, in seconds.  Must exceed the longest possible frame duration.
+    _PRUNE_HORIZON_S = 30.0
+
+    def __init__(self, sim: Simulator, node_id: int, channel: "AcousticChannel") -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.channel = channel
+        #: Failure injection: a disabled modem neither sends nor receives.
+        self.enabled = True
+        self.stats = ModemStats()
+        self.on_receive: Optional[Callable[[Frame, Arrival], None]] = None
+        self.on_rx_failure: Optional[Callable[[Arrival, RxOutcome], None]] = None
+        self._tx_intervals: List[_TxInterval] = []
+        self._arrivals: List[Arrival] = []
+        self._rx_busy_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    @property
+    def transmitting(self) -> bool:
+        """True while a transmission is on the wire."""
+        now = self.sim.now
+        return any(iv.start <= now < iv.end for iv in self._tx_intervals)
+
+    def tx_end_time(self) -> float:
+        """End time of the latest transmission (or 0.0 if none yet)."""
+        if not self._tx_intervals:
+            return 0.0
+        return max(iv.end for iv in self._tx_intervals)
+
+    def transmit(self, frame: Frame) -> float:
+        """Send ``frame`` now; returns its on-air duration.
+
+        Raises RuntimeError if a transmission is already in progress — MAC
+        protocols are responsible for serializing their own transmissions,
+        and violating that is always a protocol bug worth failing loudly on.
+        """
+        if not self.enabled:
+            raise RuntimeError(f"node {self.node_id}: transmit on a failed modem")
+        if self.transmitting:
+            raise RuntimeError(
+                f"node {self.node_id}: transmit({frame.describe()}) while "
+                "already transmitting"
+            )
+        duration = frame.duration_s(self.channel.bitrate_bps)
+        frame.timestamp = self.sim.now
+        self._tx_intervals.append(_TxInterval(self.sim.now, self.sim.now + duration))
+        self._prune(self._tx_intervals)
+        self.stats.tx_frames += 1
+        self.stats.tx_bits += frame.size_bits
+        self.stats.tx_time_s += duration
+        self.sim.trace.emit(
+            self.sim.now, "phy.tx", self.node_id, frame=frame.describe(), dur=round(duration, 6)
+        )
+        self.channel.broadcast(self, frame, duration)
+        return duration
+
+    # ------------------------------------------------------------------
+    # Receive path (driven by the channel)
+    # ------------------------------------------------------------------
+    def begin_arrival(self, arrival: Arrival) -> None:
+        """Channel callback: a signal's leading edge reached this modem."""
+        if not self.enabled:
+            return
+        self._arrivals.append(arrival)
+        # Accumulate receiver-busy time as interval union (overlaps counted once).
+        busy_from = max(arrival.start, self._rx_busy_until)
+        if arrival.end > busy_from:
+            self.stats.rx_busy_time_s += arrival.end - busy_from
+            self._rx_busy_until = arrival.end
+        self.sim.schedule_at(arrival.end, self._finish_arrival, arrival)
+
+    def _finish_arrival(self, arrival: Arrival) -> None:
+        outcome = self._decode_outcome(arrival)
+        self._prune_arrivals()
+        if outcome is RxOutcome.OK:
+            self.stats.rx_ok += 1
+            self.stats.rx_ok_bits += arrival.frame.size_bits
+            self.sim.trace.emit(
+                self.sim.now, "phy.rx", self.node_id, frame=arrival.frame.describe()
+            )
+            if self.on_receive is not None:
+                self.on_receive(arrival.frame, arrival)
+        else:
+            if outcome is RxOutcome.HALF_DUPLEX:
+                self.stats.rx_half_duplex += 1
+            elif outcome is RxOutcome.COLLISION:
+                self.stats.rx_collision += 1
+            else:
+                self.stats.rx_noise += 1
+            self.sim.trace.emit(
+                self.sim.now,
+                "phy.rx_fail",
+                self.node_id,
+                frame=arrival.frame.describe(),
+                why=outcome.value,
+            )
+            if self.on_rx_failure is not None:
+                self.on_rx_failure(arrival, outcome)
+
+    def _decode_outcome(self, arrival: Arrival) -> RxOutcome:
+        # Half-duplex: any own transmission overlapping the arrival kills it.
+        for iv in self._tx_intervals:
+            if iv.start < arrival.end and iv.end > arrival.start:
+                return RxOutcome.HALF_DUPLEX
+        interferer_levels = [
+            other.level_db
+            for other in self._arrivals
+            if other is not arrival
+            and other.start < arrival.end
+            and other.end > arrival.start
+        ]
+        sinr_db = self.channel.link_budget.sinr_db_from_levels(
+            arrival.level_db, interferer_levels
+        )
+        draw = self.channel.per_rng.random()
+        ok = self.channel.per_model.is_successful(sinr_db, arrival.frame.size_bits, draw)
+        if ok:
+            return RxOutcome.OK
+        return RxOutcome.COLLISION if interferer_levels else RxOutcome.NOISE
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def _prune(self, intervals: List[_TxInterval]) -> None:
+        horizon = self.sim.now - self._PRUNE_HORIZON_S
+        if intervals and intervals[0].end < horizon:
+            intervals[:] = [iv for iv in intervals if iv.end >= horizon]
+
+    def _prune_arrivals(self) -> None:
+        horizon = self.sim.now - self._PRUNE_HORIZON_S
+        if self._arrivals and self._arrivals[0].end < horizon:
+            self._arrivals = [a for a in self._arrivals if a.end >= horizon]

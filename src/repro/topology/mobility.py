@@ -1,0 +1,185 @@
+"""Node mobility.
+
+The paper's simulations use three location models — "non-moved, moved
+horizontal, or moved vertical", with each sensor's model chosen at random —
+and note that the protocol assumes *stable relations*: positions drift
+slowly with currents, so maintained propagation delays stay approximately
+valid between refreshes.
+
+Each mobility model is a small stateful stepper; :class:`MobilityManager`
+assigns one per node, advances them on a fixed period, and keeps nodes
+inside the deployment region and (optionally) within a tether radius of
+their deployment point so connectivity is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..acoustic.geometry import Position
+from ..des.simulator import Simulator
+from ..net.node import Node
+from .deployment import DeploymentConfig
+
+#: Typical slow current speed (m/s) used for drifting sensors.
+DEFAULT_DRIFT_SPEED_MPS = 0.5
+#: Default position-update period (s).
+DEFAULT_UPDATE_PERIOD_S = 5.0
+#: Default tether radius: how far a node may wander from its anchor (m).
+DEFAULT_TETHER_M = 300.0
+
+
+class MobilityModel:
+    """Interface: produce the node's next position after ``dt`` seconds."""
+
+    def step(self, current: Position, dt: float) -> Position:
+        raise NotImplementedError
+
+
+@dataclass
+class StaticModel(MobilityModel):
+    """The paper's "non-moved" model."""
+
+    def step(self, current: Position, dt: float) -> Position:
+        return current
+
+
+class HorizontalDriftModel(MobilityModel):
+    """"Moved horizontal": drift with a slowly rotating current heading."""
+
+    def __init__(self, rng: np.random.Generator, speed_mps: float = DEFAULT_DRIFT_SPEED_MPS):
+        self._rng = rng
+        self.speed_mps = speed_mps
+        self._heading = float(rng.uniform(0.0, 2.0 * math.pi))
+
+    def step(self, current: Position, dt: float) -> Position:
+        # Heading performs a slow random walk (current meander).
+        self._heading += float(self._rng.normal(0.0, 0.1))
+        dx = self.speed_mps * dt * math.cos(self._heading)
+        dy = self.speed_mps * dt * math.sin(self._heading)
+        return current.translated(dx=dx, dy=dy)
+
+
+class VerticalOscillationModel(MobilityModel):
+    """"Moved vertical": buoyancy-driven sinusoidal depth oscillation."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        amplitude_m: float = 100.0,
+        period_s: float = 120.0,
+    ):
+        self._rng = rng
+        self.amplitude_m = amplitude_m
+        self.period_s = period_s
+        self._phase = float(rng.uniform(0.0, 2.0 * math.pi))
+        self._elapsed = 0.0
+        self._last_offset = math.sin(self._phase) * amplitude_m
+
+    def step(self, current: Position, dt: float) -> Position:
+        self._elapsed += dt
+        offset = (
+            math.sin(self._phase + 2.0 * math.pi * self._elapsed / self.period_s)
+            * self.amplitude_m
+        )
+        dz = offset - self._last_offset
+        self._last_offset = offset
+        return current.translated(dz=dz)
+
+
+#: Names accepted by :class:`MobilityManager` model mixes.
+MODEL_NAMES = ("static", "horizontal", "vertical")
+
+
+class MobilityManager:
+    """Assigns a mobility model per node and advances them periodically.
+
+    Args:
+        sim: Simulation kernel (drives the update timer).
+        nodes: Nodes to move; sinks are always kept static.
+        config: Deployment geometry (for boundary clamping).
+        rng: RNG for model assignment and model internals.
+        model_mix: Probability of each model, in MODEL_NAMES order.
+        update_period_s: How often positions are stepped.
+        tether_m: Maximum wander distance from the deployment anchor
+            (None disables tethering).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence[Node],
+        config: DeploymentConfig,
+        rng: Optional[np.random.Generator] = None,
+        model_mix: Sequence[float] = (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0),
+        update_period_s: float = DEFAULT_UPDATE_PERIOD_S,
+        tether_m: Optional[float] = DEFAULT_TETHER_M,
+    ) -> None:
+        if len(model_mix) != 3:
+            raise ValueError("model_mix needs 3 probabilities (static/horizontal/vertical)")
+        total = sum(model_mix)
+        if total <= 0:
+            raise ValueError("model_mix must sum to a positive value")
+        mix = [p / total for p in model_mix]
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.config = config
+        self.update_period_s = update_period_s
+        self.tether_m = tether_m
+        self._rng = rng if rng is not None else sim.streams.get("mobility")
+        self._anchors: Dict[int, Position] = {n.node_id: n.position for n in self.nodes}
+        self._models: Dict[int, MobilityModel] = {}
+        self.assignments: Dict[int, str] = {}
+        for node in self.nodes:
+            if node.is_sink:
+                name = "static"
+            else:
+                name = MODEL_NAMES[int(self._rng.choice(3, p=mix))]
+            self.assignments[node.node_id] = name
+            self._models[node.node_id] = self._make_model(name)
+        self._timer = None
+
+    def _make_model(self, name: str) -> MobilityModel:
+        if name == "static":
+            return StaticModel()
+        if name == "horizontal":
+            return HorizontalDriftModel(self._rng)
+        if name == "vertical":
+            return VerticalOscillationModel(self._rng)
+        raise ValueError(f"unknown mobility model {name!r}")
+
+    def start(self) -> None:
+        """Begin periodic position updates."""
+        self._timer = self.sim.schedule(self.update_period_s, self._tick)
+
+    def stop(self) -> None:
+        self.sim.cancel(self._timer)
+        self._timer = None
+
+    def _tick(self) -> None:
+        self.step(self.update_period_s)
+        self._timer = self.sim.schedule(self.update_period_s, self._tick)
+
+    def step(self, dt: float) -> None:
+        """Advance every node once by ``dt`` (public for tests)."""
+        x_range = (0.0, self.config.side_x_m)
+        y_range = (0.0, self.config.side_y_m)
+        z_range = (0.0, self.config.depth_m)
+        for node in self.nodes:
+            model = self._models[node.node_id]
+            new_pos = model.step(node.position, dt).clamped(x_range, y_range, z_range)
+            anchor = self._anchors[node.node_id]
+            if self.tether_m is not None and new_pos.distance_to(anchor) > self.tether_m:
+                # Pull back onto the tether sphere: keeps "stable relations"
+                # between neighbours, per the paper's applicability note.
+                scale = self.tether_m / new_pos.distance_to(anchor)
+                new_pos = Position(
+                    anchor.x + (new_pos.x - anchor.x) * scale,
+                    anchor.y + (new_pos.y - anchor.y) * scale,
+                    anchor.z + (new_pos.z - anchor.z) * scale,
+                ).clamped(x_range, y_range, z_range)
+            node.position = new_pos

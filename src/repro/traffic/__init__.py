@@ -1,0 +1,17 @@
+"""Workload generators: Poisson, CBR and fixed-batch traffic."""
+
+from .generators import (
+    BatchWorkload,
+    CbrTraffic,
+    PoissonTraffic,
+    TrafficStats,
+    offered_load_to_rate,
+)
+
+__all__ = [
+    "BatchWorkload",
+    "CbrTraffic",
+    "PoissonTraffic",
+    "TrafficStats",
+    "offered_load_to_rate",
+]

@@ -1,0 +1,90 @@
+"""Unit tests for the fading processes and channel integration."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.acoustic.fading import NoFading, RayleighBlockFading, RicianBlockFading
+
+
+class TestNoFading:
+    def test_always_zero(self):
+        fading = NoFading()
+        assert fading.fade_db((1, 2), 0.0) == 0.0
+        assert fading.fade_db((3, 4), 1e6) == 0.0
+
+
+class TestRayleigh:
+    def test_constant_within_block(self):
+        fading = RayleighBlockFading(coherence_s=2.0, seed=1)
+        assert fading.fade_db((1, 2), 0.1) == fading.fade_db((1, 2), 1.9)
+
+    def test_changes_between_blocks(self):
+        fading = RayleighBlockFading(coherence_s=2.0, seed=1)
+        values = {fading.fade_db((1, 2), 2.0 * b + 0.5) for b in range(10)}
+        assert len(values) > 1
+
+    def test_symmetric_pair_key(self):
+        fading = RayleighBlockFading(seed=3)
+        assert fading.fade_db((1, 2), 0.5) == fading.fade_db((2, 1), 0.5)
+
+    def test_unit_mean_power(self):
+        fading = RayleighBlockFading(coherence_s=1.0, seed=7)
+        powers = [
+            10 ** (fading.fade_db((1, 2), float(b) + 0.5) / 10.0) for b in range(3000)
+        ]
+        assert statistics.mean(powers) == pytest.approx(1.0, rel=0.1)
+
+    def test_invalid_coherence(self):
+        fading = RayleighBlockFading(coherence_s=0.0)
+        with pytest.raises(ValueError):
+            fading.fade_db((1, 2), 0.0)
+
+
+class TestRician:
+    def test_higher_k_means_milder_fades(self):
+        mild = RicianBlockFading(k_factor=20.0, seed=5)
+        harsh = RicianBlockFading(k_factor=0.5, seed=5)
+        mild_fades = [mild.fade_db((1, 2), b + 0.5) for b in range(500)]
+        harsh_fades = [harsh.fade_db((1, 2), b + 0.5) for b in range(500)]
+        assert statistics.pstdev(mild_fades) < statistics.pstdev(harsh_fades)
+
+    def test_k_zero_is_rayleigh_like(self):
+        fading = RicianBlockFading(k_factor=0.0, seed=2)
+        powers = [
+            10 ** (fading.fade_db((1, 2), b + 0.5) / 10.0) for b in range(3000)
+        ]
+        assert statistics.mean(powers) == pytest.approx(1.0, rel=0.15)
+
+    def test_invalid_k(self):
+        fading = RicianBlockFading(k_factor=-1.0)
+        with pytest.raises(ValueError):
+            fading.fade_db((1, 2), 0.0)
+
+
+class TestChannelIntegration:
+    def test_fading_channel_loses_some_frames(self):
+        from repro.acoustic.geometry import Position
+        from repro.des.simulator import Simulator
+        from repro.phy.channel import AcousticChannel
+        from repro.phy.frame import FrameType, control_frame
+
+        sim = Simulator(seed=1)
+        # deep Rayleigh fades on a link near the decode threshold
+        channel = AcousticChannel(
+            sim, fading=RayleighBlockFading(coherence_s=0.5, seed=9)
+        )
+        pos_a, pos_b = Position(0, 0, 0), Position(1400, 0, 0)
+        a = channel.create_modem(0, lambda: pos_a)
+        b = channel.create_modem(1, lambda: pos_b)
+        outcomes = []
+        b.on_receive = lambda f, arr: outcomes.append(True)
+        b.on_rx_failure = lambda arr, out: outcomes.append(False)
+        for i in range(200):
+            sim.schedule(
+                i * 2.0, a.transmit, control_frame(FrameType.RTS, 0, 1, timestamp=0.0)
+            )
+        sim.run()
+        assert len(outcomes) == 200
+        assert any(outcomes) and not all(outcomes)

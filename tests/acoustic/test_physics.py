@@ -1,0 +1,204 @@
+"""Unit tests for the acoustic channel physics."""
+
+import math
+
+import pytest
+
+from repro.acoustic.attenuation import (
+    PathLossModel,
+    thorp_absorption_db_per_km,
+)
+from repro.acoustic.geometry import Position, bounding_box
+from repro.acoustic.noise import AmbientNoiseModel
+from repro.acoustic.per import DefaultPerModel, RayleighBerPerModel
+from repro.acoustic.propagation import (
+    SspRayPropagation,
+    StraightLinePropagation,
+    nominal_propagation_delay_s,
+)
+from repro.acoustic.sinr import LinkBudget
+from repro.acoustic.soundspeed import MackenzieProfile, UniformSoundSpeed
+
+
+class TestGeometry:
+    def test_distance(self):
+        a = Position(0, 0, 0)
+        b = Position(3, 4, 0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_horizontal_distance_ignores_depth(self):
+        a = Position(0, 0, 0)
+        b = Position(3, 4, 1000)
+        assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+
+    def test_clamped(self):
+        p = Position(-5, 50, 200).clamped((0, 10), (0, 10), (0, 100))
+        assert (p.x, p.y, p.z) == (0, 10, 100)
+
+    def test_midpoint_and_translate(self):
+        a = Position(0, 0, 0)
+        b = Position(2, 4, 6)
+        assert a.midpoint(b).as_tuple() == (1, 2, 3)
+        assert a.translated(dz=5).z == 5
+
+    def test_bounding_box(self):
+        box = bounding_box([Position(0, 1, 2), Position(3, -1, 5)])
+        assert box == ((0, 3), (-1, 1), (2, 5))
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+
+class TestThorp:
+    def test_absorption_at_10khz_is_about_1db_per_km(self):
+        # Classic Thorp value: ~1.1 dB/km at 10 kHz.
+        assert thorp_absorption_db_per_km(10.0) == pytest.approx(1.1, abs=0.3)
+
+    def test_absorption_increases_with_frequency_in_band(self):
+        values = [thorp_absorption_db_per_km(f) for f in (1.0, 5.0, 10.0, 50.0)]
+        assert values == sorted(values)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValueError):
+            thorp_absorption_db_per_km(0.0)
+
+    def test_path_loss_monotone_in_distance(self):
+        model = PathLossModel()
+        losses = [model.path_loss_db(d) for d in (10, 100, 1000, 10_000)]
+        assert losses == sorted(losses)
+
+    def test_short_range_clamped(self):
+        model = PathLossModel()
+        assert model.path_loss_db(0.001) == model.path_loss_db(1.0)
+
+    def test_max_range_bisection(self):
+        model = PathLossModel()
+        sl = 160.0
+        min_rl = model.received_level_db(sl, 2000.0)
+        found = model.max_range_m(sl, min_rl)
+        assert found == pytest.approx(2000.0, rel=1e-3)
+
+
+class TestNoise:
+    def test_band_level_exceeds_density(self):
+        noise = AmbientNoiseModel()
+        assert noise.band_level_db(10.0, 10_000) > noise.spectral_density_db(10.0)
+
+    def test_wind_raises_noise(self):
+        calm = AmbientNoiseModel(wind_mps=0.0).spectral_density_db(10.0)
+        stormy = AmbientNoiseModel(wind_mps=20.0).spectral_density_db(10.0)
+        assert stormy > calm
+
+    def test_shipping_raises_low_frequency_noise(self):
+        quiet = AmbientNoiseModel(shipping=0.0).spectral_density_db(0.3)
+        busy = AmbientNoiseModel(shipping=1.0).spectral_density_db(0.3)
+        assert busy > quiet
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            AmbientNoiseModel().band_level_db(10.0, 0.0)
+
+
+class TestLinkBudget:
+    def test_snr_decreases_with_distance(self):
+        budget = LinkBudget()
+        snrs = [budget.snr_db(d) for d in (100, 500, 1500, 3000)]
+        assert snrs == sorted(snrs, reverse=True)
+
+    def test_sinr_below_snr_with_interference(self):
+        budget = LinkBudget()
+        snr = budget.snr_db(1000.0)
+        sinr = budget.sinr_db(1000.0, [1200.0])
+        assert sinr < snr
+
+    def test_equal_interferer_gives_near_zero_sinr(self):
+        budget = LinkBudget()
+        sinr = budget.sinr_db(1000.0, [1000.0])
+        assert sinr < 0.1
+
+    def test_communication_range_consistent(self):
+        budget = LinkBudget()
+        rng = budget.communication_range_m(min_snr_db=10.0)
+        assert budget.snr_db(rng * 0.99) > 10.0
+        assert budget.snr_db(rng * 1.01) < 10.0
+
+
+class TestPerModels:
+    def test_default_model_is_threshold(self):
+        model = DefaultPerModel(threshold_db=10.0)
+        assert model.packet_error_rate(10.0, 1000) == 0.0
+        assert model.packet_error_rate(9.99, 1000) == 1.0
+
+    def test_default_model_success_decision(self):
+        model = DefaultPerModel(threshold_db=10.0)
+        assert model.is_successful(15.0, 100, uniform_draw=0.999)
+        assert not model.is_successful(5.0, 100, uniform_draw=0.999)
+
+    def test_rayleigh_per_monotone_in_size_and_snr(self):
+        model = RayleighBerPerModel()
+        assert model.packet_error_rate(20.0, 2048) < model.packet_error_rate(10.0, 2048)
+        assert model.packet_error_rate(20.0, 1024) < model.packet_error_rate(20.0, 4096)
+
+    def test_rayleigh_zero_bits(self):
+        assert RayleighBerPerModel().packet_error_rate(10.0, 0) == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            DefaultPerModel().packet_error_rate(10.0, -1)
+
+
+class TestSoundSpeed:
+    def test_uniform_profile(self):
+        profile = UniformSoundSpeed(1500.0)
+        assert profile.speed_at(0) == 1500.0
+        assert profile.mean_speed(0, 5000) == 1500.0
+
+    def test_mackenzie_plausible_range(self):
+        profile = MackenzieProfile()
+        for depth in (0, 100, 1000, 5000):
+            assert 1400.0 < profile.speed_at(depth) < 1600.0
+
+    def test_mackenzie_deep_water_pressure_effect(self):
+        profile = MackenzieProfile()
+        # Below the thermocline, pressure dominates: speed rises with depth.
+        assert profile.speed_at(6000) > profile.speed_at(3000)
+
+    def test_mean_speed_between_extremes(self):
+        profile = MackenzieProfile()
+        mean = profile.mean_speed(0.0, 2000.0)
+        speeds = [profile.speed_at(d) for d in range(0, 2001, 100)]
+        assert min(speeds) <= mean <= max(speeds)
+
+
+class TestPropagation:
+    def test_straight_line_delay(self):
+        model = StraightLinePropagation(1500.0)
+        a, b = Position(0, 0, 0), Position(1500, 0, 0)
+        assert model.delay_s(a, b) == pytest.approx(1.0)
+
+    def test_nominal_delay_helper(self):
+        # Paper: 0.67 s/km.
+        assert nominal_propagation_delay_s(1000.0) == pytest.approx(0.667, abs=0.01)
+        with pytest.raises(ValueError):
+            nominal_propagation_delay_s(-1.0)
+
+    def test_ssp_ray_deterministic_per_pair(self):
+        model = SspRayPropagation(seed=3)
+        a, b = Position(0, 0, 100), Position(1000, 0, 900)
+        d1 = model.delay_s(a, b, pair=(1, 2))
+        d2 = model.delay_s(a, b, pair=(2, 1))
+        assert d1 == d2  # symmetric pair key
+
+    def test_ssp_ray_excess_is_nonnegative(self):
+        base = SspRayPropagation(seed=3, multipath_excess_std=0.0)
+        noisy = SspRayPropagation(seed=3, multipath_excess_std=0.05)
+        a, b = Position(0, 0, 100), Position(1400, 0, 500)
+        assert noisy.delay_s(a, b, pair=(1, 2)) >= base.delay_s(a, b, pair=(1, 2))
+
+    def test_speed_mps_is_conservative(self):
+        model = SspRayPropagation(seed=0)
+        a, b = Position(0, 0, 0), Position(1500, 0, 0)
+        tau_max = 1500.0 / model.speed_mps()
+        assert model.delay_s(a, b, pair=(1, 2)) <= tau_max

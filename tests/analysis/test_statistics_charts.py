@@ -1,0 +1,140 @@
+"""Unit tests for replication statistics and ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.analysis.charts import ascii_chart, figure_chart
+from repro.analysis.statistics import (
+    Estimate,
+    estimate,
+    mean,
+    paired_comparison,
+    replicate_until,
+    sample_std,
+)
+from repro.experiments.figures import FigureData
+
+
+class TestBasics:
+    def test_mean_and_std(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert sample_std([2.0, 4.0]) == pytest.approx(math.sqrt(2.0))
+        assert sample_std([5.0]) == 0.0
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestEstimate:
+    def test_interval_contains_mean(self):
+        est = estimate([1.0, 2.0, 3.0, 4.0])
+        assert est.low < est.mean < est.high
+        assert est.n == 4
+
+    def test_single_value_has_infinite_width(self):
+        est = estimate([5.0])
+        assert est.half_width == math.inf
+
+    def test_zero_variance_zero_width(self):
+        est = estimate([2.0, 2.0, 2.0])
+        assert est.half_width == 0.0
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert estimate(values, 0.99).half_width > estimate(values, 0.90).half_width
+
+    def test_more_samples_tighter(self):
+        narrow = estimate([1.0, 2.0] * 10)
+        wide = estimate([1.0, 2.0] * 2)
+        assert narrow.half_width < wide.half_width
+
+    def test_overlap(self):
+        a = Estimate(1.0, 0.5, 3, 0.95)
+        b = Estimate(1.4, 0.2, 3, 0.95)
+        c = Estimate(3.0, 0.2, 3, 0.95)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            estimate([])
+        with pytest.raises(ValueError):
+            estimate([1.0], confidence=1.5)
+
+
+class TestPaired:
+    def test_clear_difference_is_significant(self):
+        a = [10.0, 11.0, 10.5, 10.2, 10.8]
+        b = [5.0, 5.5, 5.2, 5.1, 5.4]
+        cmp = paired_comparison(a, b)
+        assert cmp.mean_difference > 0
+        assert cmp.significant
+
+    def test_noise_is_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.1, 1.9, 3.2, 3.7]
+        assert not paired_comparison(a, b).significant
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+
+class TestReplicateUntil:
+    def test_stops_when_tight(self):
+        est, values = replicate_until(
+            lambda seed: 10.0 + 0.01 * seed, target_relative_half_width=0.05
+        )
+        assert est.relative_half_width <= 0.05
+        assert len(values) >= 3
+
+    def test_honours_max_seeds(self):
+        # wildly noisy: never converges, must stop at max
+        est, values = replicate_until(
+            lambda seed: (-100.0) ** seed,
+            target_relative_half_width=0.01,
+            max_seeds=5,
+        )
+        assert len(values) == 5
+
+    def test_min_seeds_validated(self):
+        with pytest.raises(ValueError):
+            replicate_until(lambda s: 1.0, min_seeds=1)
+
+
+class TestCharts:
+    def _series(self):
+        return [0.1, 0.2, 0.3], {"A": [1.0, 2.0, 3.0], "B": [3.0, 2.0, 1.0]}
+
+    def test_chart_contains_markers_and_legend(self):
+        x, series = self._series()
+        chart = ascii_chart(x, series)
+        assert "o A" in chart and "x B" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_axis_labels_present(self):
+        x, series = self._series()
+        chart = ascii_chart(x, series, y_label="kbps", x_label="load")
+        assert "kbps" in chart and "load" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1.0, 2.0], {"A": [1.0]})
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart([0.0, 1.0], {"A": [2.0, 2.0]})
+        assert "o" in chart
+
+    def test_figure_chart_wraps_figure_data(self):
+        data = FigureData(
+            figure_id="fig6",
+            title="Throughput",
+            x_label="Offered load (kbps)",
+            y_label="Throughput (kbps)",
+            x_values=[0.2, 0.6, 1.0],
+            series={"S-FAMA": [0.3, 0.4, 0.45], "EW-MAC": [0.31, 0.45, 0.52]},
+        )
+        chart = figure_chart(data)
+        assert "fig6" in chart and "S-FAMA" in chart

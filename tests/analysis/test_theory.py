@@ -1,0 +1,120 @@
+"""Unit tests for the analytical models, including simulator validation."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    HandshakeModel,
+    contention_domain_capacity_bps,
+    contention_success_probability,
+    expected_contention_rounds,
+    offered_load_saturation_point_kbps,
+    propagation_limited_rtt_s,
+    slotted_aloha_peak_utilization,
+)
+from repro.mac.slots import make_slot_timing
+
+
+@pytest.fixture
+def timing():
+    return make_slot_timing(12_000.0, 64, 1500.0, 1500.0)
+
+
+class TestHandshakeModel:
+    def test_exchange_slots_for_table2_defaults(self, timing):
+        # 2048 bits at tau_max: RTS + CTS + ceil((0.171+1.0)/1.005)=2 + Ack
+        model = HandshakeModel(timing, 2048, 12_000.0)
+        assert model.exchange_slots() == 2 + 2 + 1
+
+    def test_nearby_pair_needs_fewer_slots(self, timing):
+        far = HandshakeModel(timing, 2048, 12_000.0, tau_s=1.0)
+        near = HandshakeModel(timing, 2048, 12_000.0, tau_s=0.1)
+        assert near.exchange_slots() < far.exchange_slots()
+
+    def test_single_pair_throughput_magnitude(self, timing):
+        # ~2048 bits per 5 slots of ~1.005 s: ~0.41 kbps — the saturation
+        # scale the paper's Fig. 6 curves sit at.
+        model = HandshakeModel(timing, 2048, 12_000.0)
+        assert model.single_pair_throughput_bps() == pytest.approx(
+            2048 / (5 * timing.slot_s)
+        )
+        assert 300 < model.single_pair_throughput_bps() < 500
+
+    def test_utilization_below_one(self, timing):
+        model = HandshakeModel(timing, 4096, 12_000.0)
+        assert 0.0 < model.channel_utilization() < 0.15
+
+    def test_larger_packets_better_utilization(self, timing):
+        """The paper's Sec. 2 point: large packets amortize the handshake."""
+        small = HandshakeModel(timing, 1024, 12_000.0)
+        large = HandshakeModel(timing, 4096, 12_000.0)
+        assert large.channel_utilization() > small.channel_utilization()
+
+
+class TestContentionMath:
+    def test_success_probability_bounds(self):
+        assert contention_success_probability(1, 4) == 1.0
+        assert contention_success_probability(2, 4) == pytest.approx(0.75)
+        assert 0.0 < contention_success_probability(10, 4) < 0.1
+
+    def test_expected_rounds_inverse(self):
+        p = contention_success_probability(3, 4)
+        assert expected_contention_rounds(3, 4) == pytest.approx(1.0 / p)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            contention_success_probability(0, 4)
+        with pytest.raises(ValueError):
+            contention_success_probability(2, 0)
+
+    def test_aloha_peak(self):
+        assert slotted_aloha_peak_utilization() == pytest.approx(1 / math.e)
+
+
+class TestBounds:
+    def test_rtt_floor(self):
+        assert propagation_limited_rtt_s(1500.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            propagation_limited_rtt_s(-1.0)
+
+    def test_saturation_point_scales(self, timing):
+        base = offered_load_saturation_point_kbps(timing, 2048, 12_000.0)
+        doubled = offered_load_saturation_point_kbps(
+            timing, 2048, 12_000.0, parallel_domains=2.0
+        )
+        hopped = offered_load_saturation_point_kbps(
+            timing, 2048, 12_000.0, mean_hops=2.0
+        )
+        assert doubled == pytest.approx(2 * base)
+        assert hopped == pytest.approx(base / 2)
+        with pytest.raises(ValueError):
+            offered_load_saturation_point_kbps(timing, 2048, 12_000.0, mean_hops=0)
+
+
+class TestSimulatorAgainstTheory:
+    def test_single_pair_simulation_respects_bound(self, timing):
+        """An isolated saturated pair must stay at/below the closed form."""
+        from repro.acoustic.geometry import Position
+        from repro.des.simulator import Simulator
+        from repro.mac.sfama import SFama
+        from repro.net.node import Node
+        from repro.phy.channel import AcousticChannel
+
+        sim = Simulator(seed=1)
+        channel = AcousticChannel(sim)
+        a = Node(sim, 0, Position(0, 0, 100), channel)
+        b = Node(sim, 1, Position(1400, 0, 100), channel)
+        mac_a = SFama(sim, a, channel, timing)
+        mac_b = SFama(sim, b, channel, timing)
+        mac_a.start()
+        mac_b.start()
+        for _ in range(200):
+            a.enqueue_data(1, 2048)
+        sim.run(until=310.0)
+        measured_bps = mac_b.stats.data_received_bits / 300.0
+        tau = 1400.0 / 1500.0
+        bound = HandshakeModel(timing, 2048, 12_000.0, tau_s=tau)
+        assert measured_bps <= bound.single_pair_throughput_bps() * 1.02
+        # and the protocol should achieve a solid fraction of the bound
+        assert measured_bps >= bound.single_pair_throughput_bps() * 0.7

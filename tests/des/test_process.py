@@ -1,0 +1,108 @@
+"""Unit tests for generator processes and signals."""
+
+import pytest
+
+from repro.des.errors import SimulationError
+from repro.des.process import Delay, Process, Signal, WaitSignal
+from repro.des.simulator import Simulator
+
+
+def test_process_runs_with_delays():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        for _ in range(3):
+            ticks.append(sim.now)
+            yield Delay(2.0)
+
+    Process(sim, proc())
+    sim.run()
+    assert ticks == [0.0, 2.0, 4.0]
+
+
+def test_numeric_yield_is_delay():
+    sim = Simulator()
+    times = []
+
+    def proc():
+        yield 1.5
+        times.append(sim.now)
+        yield 2
+        times.append(sim.now)
+
+    Process(sim, proc())
+    sim.run()
+    assert times == [1.5, 3.5]
+
+
+def test_process_terminates_on_return():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+
+    p = Process(sim, proc())
+    sim.run()
+    assert not p.alive
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    ticks = []
+
+    def proc():
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    p = Process(sim, proc())
+    sim.schedule(2.5, p.interrupt)
+    sim.run(until=10.0)
+    assert ticks == [0.0, 1.0, 2.0]
+    assert not p.alive
+
+
+def test_signal_wakes_waiters_with_payload():
+    sim = Simulator()
+    signal = Signal(sim, "data-ready")
+    received = []
+
+    def waiter():
+        payload = yield WaitSignal(signal)
+        received.append((sim.now, payload))
+
+    Process(sim, waiter())
+    Process(sim, waiter())
+    sim.schedule(3.0, signal.fire, "hello")
+    sim.run()
+    assert received == [(3.0, "hello"), (3.0, "hello")]
+    assert signal.fire_count == 1
+
+
+def test_signal_fire_returns_waiter_count():
+    sim = Simulator()
+    signal = Signal(sim)
+    assert signal.fire() == 0
+
+
+def test_negative_delay_kills_process():
+    sim = Simulator()
+
+    def proc():
+        yield -1.0
+
+    Process(sim, proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bad_yield_value_kills_process():
+    sim = Simulator()
+
+    def proc():
+        yield "nonsense"
+
+    Process(sim, proc())
+    with pytest.raises(SimulationError):
+        sim.run()

@@ -1,0 +1,124 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.des.errors import SchedulingError
+from repro.des.simulator import Simulator
+
+
+def test_run_advances_clock_in_event_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(sim.now))
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    end = sim.run()
+    assert seen == [1.0, 2.0]
+    assert end == 2.0
+
+
+def test_run_until_stops_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=3.0)
+    assert fired == [1]
+    assert sim.now == 3.0
+    sim.run(until=10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_with_empty_queue_sets_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append((sim.now, n))
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert seen == [(0.0, 0), (1.0, 1), (2.0, 2), (3.0, 3)]
+
+
+def test_cancel_via_simulator_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.cancel(event)
+    sim.cancel(None)  # no-op
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 2.0
+    # remaining event still runs on resume
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_step_processes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_reset_clears_state():
+    sim = Simulator(seed=1)
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    sim.reset(seed=2)
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+    assert sim.streams.seed == 2
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_deterministic_rng_streams():
+    a = Simulator(seed=7).streams.get("traffic").random(5)
+    b = Simulator(seed=7).streams.get("traffic").random(5)
+    c = Simulator(seed=8).streams.get("traffic").random(5)
+    assert list(a) == list(b)
+    assert list(a) != list(c)

@@ -1,0 +1,94 @@
+"""Tests for paper-reference data and the comparison report generator."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    ClaimCheck,
+    MeasuredFigure,
+    build_comparison_markdown,
+    check_claims,
+    comparison_table,
+    load_measured,
+)
+from repro.experiments.paper_reference import (
+    PAPER_FIGURES,
+    PROTOCOLS,
+    orderings_at,
+    paper_series,
+)
+
+
+class TestPaperReference:
+    def test_every_paper_figure_present(self):
+        assert set(PAPER_FIGURES) == {
+            "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig10a", "fig10b", "fig11",
+        }
+
+    def test_series_lengths_match_axes(self):
+        for figure in PAPER_FIGURES.values():
+            for protocol in PROTOCOLS:
+                assert len(figure.series[protocol]) == len(figure.x_values)
+
+    def test_fig6_encodes_the_crossover(self):
+        """Paper claim: CS best at 0.6, EW best at 1.0."""
+        assert orderings_at("fig6", 0.6)[-1] == "CS-MAC"
+        assert orderings_at("fig6", 1.0)[-1] == "EW-MAC"
+
+    def test_fig9_encodes_power_ordering(self):
+        assert orderings_at("fig9a", 0.8) == ["EW-MAC", "S-FAMA", "CS-MAC", "ROPA"]
+
+    def test_fig10_encodes_overhead_ordering(self):
+        assert orderings_at("fig10a", 100) == ["S-FAMA", "ROPA", "EW-MAC", "CS-MAC"]
+
+    def test_paper_series_lookup(self):
+        assert paper_series("fig6", "EW-MAC")[-1] == pytest.approx(0.365)
+
+
+class TestComparison:
+    def _measured(self):
+        return MeasuredFigure(
+            "fig6",
+            [0.1, 0.2, 0.4, 0.6, 0.8, 1.0],
+            {
+                "S-FAMA": [0.17, 0.33, 0.40, 0.43, 0.44, 0.38],
+                "ROPA": [0.16, 0.33, 0.41, 0.44, 0.47, 0.48],
+                "CS-MAC": [0.16, 0.32, 0.51, 0.62, 0.60, 0.62],
+                "EW-MAC": [0.17, 0.33, 0.47, 0.48, 0.49, 0.50],
+            },
+        )
+
+    def test_comparison_table_pairs_values(self):
+        table = comparison_table(PAPER_FIGURES["fig6"], self._measured())
+        assert "0.365 / 0.5" in table  # paper vs ours at 1.0 for EW-MAC
+        assert table.count("|") > 10
+
+    def test_check_claims_fig6(self):
+        checks = check_claims("fig6", self._measured())
+        by_claim = {c.claim: c for c in checks}
+        assert by_claim["EW-MAC >= S-FAMA at the highest load"].holds
+        # CS-MAC still leads at the top load in this sample: EW claim fails
+        assert not by_claim["EW-MAC leads at the highest load"].holds
+
+    def test_load_measured_roundtrip(self, tmp_path):
+        path = tmp_path / "fig6.csv"
+        path.write_text(
+            "Offered load (kbps),S-FAMA,EW-MAC\n0.2,0.3,0.31\n0.4,0.4,0.45\n"
+        )
+        measured = load_measured(path)
+        assert measured.figure_id == "fig6"
+        assert measured.x_values == [0.2, 0.4]
+        assert measured.series["EW-MAC"] == [0.31, 0.45]
+
+    def test_build_markdown_handles_missing_files(self, tmp_path):
+        text = build_comparison_markdown(tmp_path)
+        assert "no measured data" in text
+
+    def test_build_markdown_with_one_csv(self, tmp_path):
+        (tmp_path / "fig6.csv").write_text(
+            "Offered load (kbps),S-FAMA,ROPA,CS-MAC,EW-MAC\n"
+            "0.1,0.17,0.16,0.16,0.17\n"
+            "1.0,0.38,0.48,0.62,0.50\n"
+        )
+        text = build_comparison_markdown(tmp_path)
+        assert "### fig6" in text
+        assert "[PASS]" in text or "[FAIL]" in text

@@ -1,0 +1,55 @@
+"""Tests for EXPERIMENTS.md assembly and the report CLI target."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.experiments_doc import build_experiments_md
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig6.csv").write_text(
+        "Offered load (kbps),S-FAMA,ROPA,CS-MAC,EW-MAC\n"
+        "0.1,0.17,0.16,0.16,0.17\n"
+        "0.6,0.43,0.44,0.62,0.48\n"
+        "1.0,0.38,0.48,0.62,0.50\n"
+    )
+    (tmp_path / "fig11.csv").write_text(
+        "Offered load (kbps),S-FAMA,ROPA,CS-MAC,EW-MAC\n"
+        "0.1,1.0,0.9,0.8,1.0\n"
+        "1.0,1.0,0.7,0.5,1.27\n"
+    )
+    return tmp_path
+
+
+def test_document_structure(results_dir):
+    text = build_experiments_md(results_dir)
+    assert text.startswith("# EXPERIMENTS")
+    assert "## Summary of reproduction status" in text
+    assert "Known divergences" in text
+    assert "### fig6" in text
+    assert "### fig11" in text
+    # figures without CSVs are marked missing, not dropped
+    assert text.count("no measured data") == 6
+
+
+def test_mechanical_checks_present(results_dir):
+    text = build_experiments_md(results_dir)
+    assert "[PASS]" in text
+    assert "EW-MAC index above 1 at high load" in text
+
+
+def test_cli_report_roundtrip(results_dir, tmp_path, capsys):
+    from repro.experiments.cli import main
+
+    out = tmp_path / "EXP.md"
+    assert main(["report", "--csv", str(results_dir), "--out", str(out)]) == 0
+    assert out.exists()
+    assert "paper vs measured" in out.read_text()
+
+
+def test_cli_report_requires_csv(capsys):
+    from repro.experiments.cli import main
+
+    assert main(["report"]) == 2

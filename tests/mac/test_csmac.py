@@ -1,0 +1,126 @@
+"""Integration tests for CS-MAC channel stealing."""
+
+import pytest
+
+from repro.acoustic.geometry import Position
+from repro.des.simulator import Simulator
+from repro.des.trace import Tracer
+from repro.mac.csmac import CsMac
+from repro.mac.slots import make_slot_timing
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+
+
+def build(positions, seed=0):
+    sim = Simulator(seed=seed, tracer=Tracer())
+    channel = AcousticChannel(sim)
+    timing = make_slot_timing(12_000.0, 64, 1500.0, 1500.0)
+    nodes, macs = [], []
+    for node_id, pos in enumerate(positions):
+        node = Node(sim, node_id, pos, channel)
+        mac = CsMac(sim, node, channel, timing)
+        mac.config.hello_window_s = 2.0
+        nodes.append(node)
+        macs.append(mac)
+    return sim, nodes, macs, timing
+
+
+def steal_scenario(seed=0, until=200.0):
+    """Pair (0,1) negotiates repeatedly; bystander 2 steals toward 3.
+
+    Node 3 is in range of node 2 but far from the negotiating pair, so the
+    stolen data cannot collide with the exchange.  The stealer's packet is
+    enqueued only after the pair is already negotiating, so quiet rules
+    keep it from winning the channel normally — stealing is its only way
+    into the waiting period.
+    """
+    positions = [
+        Position(0, 0, 100),       # receiver of the negotiated pair
+        Position(900, 0, 100),     # sender of the negotiated pair
+        Position(0, 1200, 100),    # stealer (hears 0's CTS)
+        Position(0, 2600, 100),    # stealer's target (out of pair's range)
+    ]
+    sim, nodes, macs, timing = build(positions, seed)
+    for mac in macs:
+        mac.start()
+    for _ in range(8):  # keep the pair busy for many exchanges
+        nodes[1].enqueue_data(0, 2048)
+    sim.schedule(5.5, nodes[2].enqueue_data, 3, 1024)
+    sim.run(until=until)
+    return sim, nodes, macs, timing
+
+
+def find_steal_seed(max_seed=30):
+    for seed in range(max_seed):
+        sim, nodes, macs, timing = steal_scenario(seed=seed)
+        if macs[2].steals_completed >= 1:
+            return sim, nodes, macs, timing
+    pytest.fail("no seed produced a completed steal")
+
+
+class TestStealing:
+    def test_steal_completes_without_handshake(self):
+        sim, nodes, macs, timing = find_steal_seed()
+        assert nodes[2].app_stats.sent == 1
+        # the stealer sent no RTS for this packet
+        stealer_tx = [
+            r.detail["frame"].split()[0]
+            for r in sim.trace.select("phy.tx", node=2)
+        ]
+        assert "DATA" in stealer_tx
+        assert macs[3].stats.opportunistic_received == 1
+
+    def test_stolen_data_is_mid_slot(self):
+        """Stolen data starts off the slot grid (it steals waiting time)."""
+        sim, nodes, macs, timing = find_steal_seed()
+        data_tx = [
+            r.time for r in sim.trace.select("phy.tx", node=2)
+            if r.detail["frame"].startswith("DATA")
+        ]
+        assert any(timing.time_into_slot(t) > 1e-6 for t in data_tx)
+
+    def test_no_steal_when_target_in_negotiating_pair(self):
+        positions = [
+            Position(0, 0, 100),
+            Position(900, 0, 100),
+            Position(0, 1200, 100),
+        ]
+        sim, nodes, macs, timing = build(positions)
+        for mac in macs:
+            mac.start()
+        nodes[1].enqueue_data(0, 2048)
+        nodes[2].enqueue_data(0, 1024)  # target IS the busy receiver
+        sim.run(until=15.0)
+        assert macs[2].steals_attempted == 0
+
+    def test_failed_steal_consumes_attempt(self):
+        """A steal whose ack never returns burns one delivery attempt."""
+        positions = [
+            Position(0, 0, 100),
+            Position(900, 0, 100),
+            Position(0, 1200, 100),
+            Position(0, 2600, 100),
+        ]
+        sim, nodes, macs, timing = build(positions)
+        for mac in macs:
+            mac.start()
+        macs[3].stop()  # target never acks
+        nodes[3].modem.on_receive = None
+        nodes[1].enqueue_data(0, 2048)
+        nodes[2].enqueue_data(3, 1024)
+        sim.run(until=60.0)
+        if macs[2].steals_attempted:
+            request = nodes[2].peek_request()
+            assert request is None or request.attempts >= 1
+
+    def test_two_hop_digest_grows_maintenance(self):
+        positions = [Position(0, 0, 100), Position(900, 0, 100)]
+        sim, nodes, macs, timing = build(positions)
+        base = macs[0].maintenance_frame_bits()
+        macs[0].two_hop.record_announcement(1, [(2, 0.4), (3, 0.5)], now=0.0)
+        assert macs[0].maintenance_frame_bits() > base
+
+    def test_busy_tracking_from_overheard_cts(self):
+        sim, nodes, macs, timing = steal_scenario(seed=0)
+        # after the exchange the stealer learned the pair was busy at some point
+        assert 0 in macs[2]._busy_until or 1 in macs[2]._busy_until

@@ -1,0 +1,144 @@
+"""Integration tests for ROPA's two-phase reverse appending."""
+
+import pytest
+
+from repro.acoustic.geometry import Position
+from repro.des.simulator import Simulator
+from repro.des.trace import Tracer
+from repro.mac.ropa import Ropa
+from repro.mac.slots import make_slot_timing
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+
+
+def build(positions, seed=0):
+    sim = Simulator(seed=seed, tracer=Tracer())
+    channel = AcousticChannel(sim)
+    timing = make_slot_timing(12_000.0, 64, 1500.0, 1500.0)
+    nodes, macs = [], []
+    for node_id, pos in enumerate(positions):
+        node = Node(sim, node_id, pos, channel)
+        mac = Ropa(sim, node, channel, timing)
+        mac.config.hello_window_s = 2.0
+        nodes.append(node)
+        macs.append(mac)
+    return sim, nodes, macs, timing
+
+
+def run_append_scenario(seed=0, until=120.0):
+    """s=1 sends to r=0; neighbour n=2 has reverse traffic for s."""
+    positions = [
+        Position(0, 0, 100),      # r: s's receiver
+        Position(900, 0, 100),    # s: the waiting sender
+        Position(900, 700, 100),  # n: s's neighbour with data for s
+    ]
+    sim, nodes, macs, timing = build(positions, seed)
+    for mac in macs:
+        mac.start()
+    nodes[1].enqueue_data(0, 2048)   # s -> r (primary)
+    nodes[2].enqueue_data(1, 2048)   # n -> s (reverse append candidate)
+    sim.run(until=until)
+    return sim, nodes, macs, timing
+
+
+def find_append_seed(max_seed=30):
+    for seed in range(max_seed):
+        sim, nodes, macs, timing = run_append_scenario(seed=seed)
+        if macs[2].appends_completed >= 1:
+            return sim, nodes, macs, timing
+    pytest.fail("no seed produced a completed append")
+
+
+class TestAppending:
+    def test_append_completes_and_delivers(self):
+        sim, nodes, macs, timing = find_append_seed()
+        assert nodes[2].app_stats.sent == 1
+        assert macs[1].stats.opportunistic_received == 1
+        assert nodes[1].app_stats.delivered >= 1
+
+    def test_rta_lands_in_senders_wait_window(self):
+        """The RTA must arrive at s between its RTS and the CTS arrival."""
+        sim, nodes, macs, timing = find_append_seed()
+        rts_times = [
+            r.time for r in sim.trace.select("phy.tx", node=1)
+            if r.detail["frame"].startswith("RTS")
+        ]
+        rta_rx = [
+            r.time for r in sim.trace.select("phy.rx", node=1)
+            if r.detail["frame"].startswith("RTA")
+        ]
+        assert rta_rx, "s never decoded the RTA"
+        # the append rides whichever RTS preceded it (s may have retried)
+        trigger_rts = max(t for t in rts_times if t < rta_rx[0])
+        slot = timing.slot_index(trigger_rts)
+        tau_sr = 900.0 / 1500.0
+        cts_arrival = timing.slot_start(slot + 1) + tau_sr
+        assert trigger_rts < rta_rx[0] < cts_arrival + 1e-6
+
+    def test_appended_data_comes_after_primary_exchange(self):
+        """Two-phase model: the appended DATA follows s's own exchange."""
+        sim, nodes, macs, timing = find_append_seed()
+        primary_ack_rx = [
+            r.time for r in sim.trace.select("phy.rx", node=1)
+            if r.detail["frame"].startswith("ACK 0->1")
+        ]
+        appended_tx = [
+            r.time for r in sim.trace.select("phy.tx", node=2)
+            if r.detail["frame"].startswith("DATA")
+        ]
+        if primary_ack_rx:  # primary succeeded: append strictly after it
+            assert appended_tx[0] > primary_ack_rx[0]
+
+    def test_no_append_without_reverse_traffic(self):
+        positions = [
+            Position(0, 0, 100),
+            Position(900, 0, 100),
+            Position(900, 700, 100),
+        ]
+        sim, nodes, macs, timing = build(positions)
+        for mac in macs:
+            mac.start()
+        nodes[1].enqueue_data(0, 2048)  # only the primary transfer
+        sim.run(until=60.0)
+        assert macs[2].appends_attempted == 0
+
+    def test_append_only_toward_the_waiting_sender(self):
+        """Traffic for a third party must not be appended."""
+        positions = [
+            Position(0, 0, 100),
+            Position(900, 0, 100),
+            Position(900, 700, 100),
+        ]
+        sim, nodes, macs, timing = build(positions)
+        for mac in macs:
+            mac.start()
+        nodes[1].enqueue_data(0, 2048)
+        nodes[2].enqueue_data(0, 2048)  # destined to r, not to s
+        sim.run(until=30.0)
+        assert macs[2].appends_attempted == 0
+
+
+class TestRopaState:
+    def test_two_hop_table_from_neigh(self):
+        positions = [Position(0, 0, 100), Position(900, 0, 100)]
+        sim, nodes, macs, timing = build(positions)
+        for mac in macs:
+            mac.config.maintenance_period_s = 5.0
+            mac.start()
+            mac._next_maintenance = 5.0  # constructed before the override
+        sim.run(until=40.0)
+        assert macs[0].stats.maintenance_tx_bits > 0
+        # node 1 announced its one-hop table; node 0 recorded it (node 0
+        # itself is excluded from the stored links, so it may be empty here,
+        # but the announcement must have been registered).
+        assert 1 in macs[0].two_hop._last_announce
+
+    def test_maintenance_bits_grow_with_neighbors(self):
+        positions = [Position(0, 0, 100), Position(900, 0, 100)]
+        sim, nodes, macs, timing = build(positions)
+        base = macs[0].maintenance_frame_bits()
+        macs[0].node.neighbors.observe(1, 0.6, 0.0)
+        assert macs[0].maintenance_frame_bits() > base
+
+    def test_uses_two_hop_flag(self):
+        assert Ropa.uses_two_hop_info

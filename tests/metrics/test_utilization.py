@@ -1,0 +1,70 @@
+"""Unit tests for the bandwidth-utilization metrics."""
+
+import pytest
+
+from repro.acoustic.geometry import Position
+from repro.des.simulator import Simulator
+from repro.mac.sfama import SFama
+from repro.mac.slots import make_slot_timing
+from repro.metrics.utilization import network_utilization
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+
+
+def build_macs(sim, n=2):
+    channel = AcousticChannel(sim)
+    timing = make_slot_timing(12_000.0, 64, 1500.0, 1500.0)
+    return [
+        SFama(sim, Node(sim, i, Position(i * 300.0, 0, 100), channel), channel, timing)
+        for i in range(n)
+    ]
+
+
+def test_data_utilization_fraction_of_capacity():
+    sim = Simulator()
+    macs = build_macs(sim)
+    macs[0].stats.data_received_bits = 120_000  # of 12kbps * 100 s = 1.2 Mb
+    report = network_utilization(macs, duration_s=100.0, bitrate_bps=12_000.0)
+    assert report.data_utilization == pytest.approx(0.1)
+    assert report.received_bits == 120_000
+    assert report.capacity_bits == pytest.approx(1.2e6)
+
+
+def test_airtime_averages_over_nodes():
+    sim = Simulator()
+    macs = build_macs(sim, n=2)
+    macs[0].node.modem.stats.tx_time_s = 10.0
+    macs[1].node.modem.stats.rx_busy_time_s = 30.0
+    report = network_utilization(macs, duration_s=100.0, bitrate_bps=12_000.0)
+    assert report.airtime_utilization == pytest.approx(0.2)
+
+
+def test_spatial_reuse_can_exceed_one():
+    sim = Simulator()
+    macs = build_macs(sim)
+    macs[0].stats.data_received_bits = 2_400_000
+    report = network_utilization(macs, duration_s=100.0, bitrate_bps=12_000.0)
+    assert report.data_utilization == pytest.approx(2.0)
+
+
+def test_invalid_inputs():
+    sim = Simulator()
+    macs = build_macs(sim)
+    with pytest.raises(ValueError):
+        network_utilization(macs, 0.0, 12_000.0)
+    with pytest.raises(ValueError):
+        network_utilization(macs, 10.0, 0.0)
+
+
+def test_scenario_result_exposes_utilization_and_dict():
+    from repro.experiments import run_scenario, table2_config
+
+    result = run_scenario(
+        table2_config(n_sensors=12, sim_time_s=40.0, offered_load_kbps=0.8, seed=2)
+    )
+    assert result.utilization.data_utilization > 0.0
+    assert 0.0 <= result.utilization.airtime_utilization <= 1.0
+    summary = result.to_dict()
+    assert summary["protocol"] == "EW-MAC"
+    assert summary["throughput_kbps"] == result.throughput_kbps
+    assert "drain_time_s" not in summary  # steady-state run

@@ -1,0 +1,95 @@
+"""Unit tests for application-layer reading aggregation."""
+
+import pytest
+
+from repro.acoustic.geometry import Position
+from repro.des.simulator import Simulator
+from repro.net.aggregation import ReadingAggregator
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+
+
+@pytest.fixture
+def node(sim):
+    channel = AcousticChannel(sim)
+    return Node(sim, 0, Position(0, 0, 100), channel)
+
+
+def make_aggregator(sim, node, next_hop=1, **kw):
+    return ReadingAggregator(sim, node, lambda: next_hop, **kw)
+
+
+def test_flush_on_size_threshold(sim, node):
+    agg = make_aggregator(sim, node, flush_bits=1024, header_bits=64)
+    for _ in range(5):
+        agg.add_reading(192)  # 5 * 192 = 960; + 64 header = 1024
+    assert agg.stats.flushes == 1
+    assert agg.stats.size_flushes == 1
+    assert node.queue[0].size_bits == 960 + 64
+    assert agg.buffered_bits == 0
+
+
+def test_flush_on_age(sim, node):
+    agg = make_aggregator(sim, node, flush_bits=4096, max_age_s=60.0)
+    agg.add_reading(100)
+    sim.run(until=59.0)
+    assert agg.stats.flushes == 0
+    sim.run(until=61.0)
+    assert agg.stats.flushes == 1
+    assert agg.stats.age_flushes == 1
+    assert node.queue[0].size_bits == 100 + 64
+
+
+def test_age_timer_restarts_per_batch(sim, node):
+    agg = make_aggregator(sim, node, flush_bits=4096, max_age_s=10.0)
+    agg.add_reading(100)
+    sim.run(until=11.0)
+    assert agg.stats.flushes == 1
+    agg.add_reading(100)
+    sim.run(until=15.0)
+    assert agg.stats.flushes == 1  # second batch is only 4 s old
+    sim.run(until=22.0)
+    assert agg.stats.flushes == 2
+
+
+def test_stranded_next_hop_keeps_buffering(sim, node):
+    hop = {"value": None}
+    agg = ReadingAggregator(
+        sim, node, lambda: hop["value"], flush_bits=512, max_age_s=5.0
+    )
+    agg.add_reading(600)  # would flush, but no next hop
+    assert agg.stats.flushes == 0
+    assert agg.buffered_bits == 600
+    hop["value"] = 2
+    sim.run(until=6.0)  # age retry finds the hop
+    assert agg.stats.flushes == 1
+    assert node.queue[0].dst == 2
+
+
+def test_flush_now(sim, node):
+    agg = make_aggregator(sim, node, flush_bits=4096)
+    agg.flush_now()  # empty: no-op
+    assert agg.stats.flushes == 0
+    agg.add_reading(50)
+    agg.flush_now()
+    assert agg.stats.flushes == 1
+
+
+def test_stats_accumulate(sim, node):
+    agg = make_aggregator(sim, node, flush_bits=1000, header_bits=8)
+    for _ in range(10):
+        agg.add_reading(200)
+    assert agg.stats.readings == 10
+    assert agg.stats.reading_bits == 2000
+    assert agg.stats.flushed_bits >= 2000
+    assert agg.stats.mean_flush_bits > 0
+
+
+def test_invalid_parameters(sim, node):
+    with pytest.raises(ValueError):
+        make_aggregator(sim, node, flush_bits=32, header_bits=64)
+    with pytest.raises(ValueError):
+        make_aggregator(sim, node, max_age_s=0.0)
+    agg = make_aggregator(sim, node)
+    with pytest.raises(ValueError):
+        agg.add_reading(0)

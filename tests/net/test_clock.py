@@ -1,0 +1,47 @@
+"""Unit tests for per-node clocks."""
+
+import pytest
+
+from repro.des.simulator import Simulator
+from repro.net.clock import NodeClock
+
+
+def test_perfect_clock_tracks_simulator():
+    sim = Simulator()
+    clock = NodeClock(sim)
+    assert clock.perfect
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    assert clock.now() == sim.now == 5.0
+
+
+def test_offset_shifts_local_time():
+    sim = Simulator()
+    clock = NodeClock(sim, offset_s=0.25)
+    assert not clock.perfect
+    assert clock.now() == pytest.approx(0.25)
+    assert clock.to_true(0.25) == pytest.approx(0.0)
+
+
+def test_drift_scales_local_time():
+    sim = Simulator()
+    clock = NodeClock(sim, drift_ppm=100.0)
+    sim.schedule(1000.0, lambda: None)
+    sim.run()
+    assert clock.now() == pytest.approx(1000.0 * (1 + 1e-4))
+
+
+def test_round_trip_local_true():
+    sim = Simulator()
+    clock = NodeClock(sim, offset_s=0.1, drift_ppm=50.0)
+    for t in (0.0, 1.0, 123.456):
+        assert clock.to_true(clock.to_local(t)) == pytest.approx(t)
+
+
+def test_delay_until_local_clamps_past():
+    sim = Simulator()
+    clock = NodeClock(sim)
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert clock.delay_until_local(5.0) == 0.0
+    assert clock.delay_until_local(12.5) == pytest.approx(2.5)

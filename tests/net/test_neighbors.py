@@ -1,0 +1,93 @@
+"""Unit tests for one- and two-hop neighbour tables."""
+
+import pytest
+
+from repro.net.neighbors import NeighborTable, TwoHopTable
+
+
+class TestNeighborTable:
+    def test_observe_and_lookup(self):
+        table = NeighborTable(owner_id=0)
+        table.observe(1, 0.5, now=10.0)
+        assert 1 in table
+        assert table.delay_to(1) == 0.5
+        assert table.delay_to(2) is None
+        assert len(table) == 1
+
+    def test_latest_measurement_wins_by_default(self):
+        table = NeighborTable(owner_id=0)
+        table.observe(1, 0.5, now=1.0)
+        table.observe(1, 0.7, now=2.0)
+        assert table.delay_to(1) == pytest.approx(0.7)
+        assert table.info(1).updates == 2
+
+    def test_ewma_smoothing(self):
+        table = NeighborTable(owner_id=0, smoothing=0.5)
+        table.observe(1, 1.0, now=1.0)
+        table.observe(1, 0.0, now=2.0)
+        assert table.delay_to(1) == pytest.approx(0.5)
+
+    def test_self_entry_rejected(self):
+        table = NeighborTable(owner_id=3)
+        with pytest.raises(ValueError):
+            table.observe(3, 0.1, now=0.0)
+
+    def test_negative_delay_rejected(self):
+        table = NeighborTable(owner_id=0)
+        with pytest.raises(ValueError):
+            table.observe(1, -0.1, now=0.0)
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            NeighborTable(owner_id=0, smoothing=0.0)
+
+    def test_staleness_filter(self):
+        table = NeighborTable(owner_id=0, staleness_s=10.0)
+        table.observe(1, 0.5, now=0.0)
+        table.observe(2, 0.6, now=8.0)
+        assert sorted(table.fresh_neighbors(now=9.0)) == [1, 2]
+        assert table.fresh_neighbors(now=15.0) == [2]
+        # without staleness everything stays fresh
+        assert sorted(NeighborTable(0).fresh_neighbors(0.0)) == []
+
+    def test_max_delay(self):
+        table = NeighborTable(owner_id=0)
+        assert table.max_delay_s() == 0.0
+        table.observe(1, 0.5, now=0.0)
+        table.observe(2, 0.9, now=0.0)
+        assert table.max_delay_s() == 0.9
+
+    def test_forget(self):
+        table = NeighborTable(owner_id=0)
+        table.observe(1, 0.5, now=0.0)
+        table.forget(1)
+        table.forget(99)  # no-op
+        assert 1 not in table
+
+
+class TestTwoHopTable:
+    def test_announcement_replaces_previous(self):
+        table = TwoHopTable(owner_id=0)
+        table.record_announcement(1, [(2, 0.5), (3, 0.6)], now=1.0)
+        assert table.memory_entries() == 2
+        table.record_announcement(1, [(4, 0.7)], now=2.0)
+        assert table.memory_entries() == 1
+        assert table.links_of(1) == {4: 0.7}
+
+    def test_owner_excluded_from_links(self):
+        table = TwoHopTable(owner_id=0)
+        table.record_announcement(1, [(0, 0.5), (2, 0.6)], now=1.0)
+        assert table.links_of(1) == {2: 0.6}
+
+    def test_delay_between_either_direction(self):
+        table = TwoHopTable(owner_id=0)
+        table.record_announcement(1, [(2, 0.5)], now=1.0)
+        assert table.delay_between(1, 2) == 0.5
+        assert table.delay_between(2, 1) == 0.5
+        assert table.delay_between(2, 3) is None
+
+    def test_two_hop_ids(self):
+        table = TwoHopTable(owner_id=0)
+        table.record_announcement(1, [(2, 0.5), (3, 0.6)], now=1.0)
+        table.record_announcement(4, [(3, 0.2)], now=1.0)
+        assert table.two_hop_ids() == [2, 3]

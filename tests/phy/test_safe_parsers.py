@@ -1,0 +1,82 @@
+"""Unit tests for the hardened frame-field parsers (fuzz-derived)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.frame import CONTROL_PACKET_BITS, safe_bits, safe_float, safe_links
+
+
+class TestSafeBits:
+    def test_valid_int_passthrough(self):
+        assert safe_bits(2048) == 2048
+        assert safe_bits("1024") == 1024
+        assert safe_bits(64.9) == 64
+
+    def test_malformed_falls_back(self):
+        assert safe_bits(None) == CONTROL_PACKET_BITS
+        assert safe_bits([1, 2]) == CONTROL_PACKET_BITS
+        assert safe_bits("garbage") == CONTROL_PACKET_BITS
+        assert safe_bits({"x": 1}, default=7) == 7
+
+    def test_below_minimum_falls_back(self):
+        assert safe_bits(0) == CONTROL_PACKET_BITS
+        assert safe_bits(-5, default=99) == 99
+        assert safe_bits(0, default=0, minimum=0) == 0
+
+    @given(st.one_of(st.integers(), st.floats(allow_nan=False), st.text(),
+                     st.lists(st.integers()), st.none(), st.booleans()))
+    def test_never_raises(self, value):
+        result = safe_bits(value)
+        assert isinstance(result, int)
+
+
+class TestSafeFloat:
+    def test_valid(self):
+        assert safe_float(1.5) == 1.5
+        assert safe_float(3) == 3.0
+        assert safe_float("2.5") == 2.5
+
+    def test_invalid(self):
+        assert safe_float(None) is None
+        assert safe_float([1.0]) is None
+        assert safe_float("xyz") is None
+        assert safe_float(True) is None  # booleans are not measurements
+        assert safe_float(float("nan")) is None
+
+    @given(st.one_of(st.integers(), st.floats(), st.text(),
+                     st.lists(st.floats()), st.none(), st.booleans()))
+    def test_never_raises(self, value):
+        result = safe_float(value)
+        assert result is None or isinstance(result, float)
+
+
+class TestSafeLinks:
+    def test_valid_links(self):
+        assert safe_links([(1, 0.5), (2, 0.9)]) == [(1, 0.5), (2, 0.9)]
+
+    def test_scalar_is_empty(self):
+        assert safe_links(42) == []
+        assert safe_links("nope") == []
+        assert safe_links(None) == []
+
+    def test_bad_entries_skipped(self):
+        links = safe_links([(1, 0.5), "junk", (2,), (3, -0.1), (-4, 0.2), (5, 0.3)])
+        assert links == [(1, 0.5), (5, 0.3)]
+
+    @given(st.one_of(
+        st.lists(st.one_of(
+            st.tuples(st.integers(), st.floats(allow_nan=False)),
+            st.text(),
+            st.integers(),
+        )),
+        st.integers(),
+        st.none(),
+    ))
+    def test_never_raises(self, value):
+        result = safe_links(value)
+        assert isinstance(result, list)
+        for node_id, delay in result:
+            assert node_id >= 0 and delay >= 0.0

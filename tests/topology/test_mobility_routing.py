@@ -1,0 +1,141 @@
+"""Unit tests for mobility models and depth routing."""
+
+import numpy as np
+import pytest
+
+from repro.acoustic.geometry import Position
+from repro.des.simulator import Simulator
+from repro.net.node import Node
+from repro.phy.channel import AcousticChannel
+from repro.topology.deployment import DeploymentConfig, connected_column_deployment
+from repro.topology.mobility import (
+    HorizontalDriftModel,
+    MobilityManager,
+    StaticModel,
+    VerticalOscillationModel,
+)
+from repro.topology.routing import DepthRouting
+
+
+class TestModels:
+    def test_static_never_moves(self):
+        model = StaticModel()
+        p = Position(1, 2, 3)
+        assert model.step(p, 100.0) is p
+
+    def test_horizontal_keeps_depth(self):
+        rng = np.random.default_rng(0)
+        model = HorizontalDriftModel(rng, speed_mps=0.5)
+        p = Position(0, 0, 500)
+        moved = model.step(p, 10.0)
+        assert moved.z == 500
+        assert p.horizontal_distance_to(moved) == pytest.approx(5.0)
+
+    def test_vertical_keeps_xy_and_is_bounded(self):
+        rng = np.random.default_rng(0)
+        model = VerticalOscillationModel(rng, amplitude_m=50.0, period_s=60.0)
+        p = Position(10, 20, 500)
+        max_dev = 0.0
+        for _ in range(100):
+            p = model.step(p, 5.0)
+            assert (p.x, p.y) == (10, 20)
+            max_dev = max(max_dev, abs(p.z - 500))
+        assert max_dev <= 100.0 + 1e-6  # 2 * amplitude
+
+
+class TestManager:
+    def _build(self, seed=0, model_mix=(1 / 3, 1 / 3, 1 / 3)):
+        sim = Simulator(seed=seed)
+        config = DeploymentConfig(n_sensors=20, seed=seed)
+        dep = connected_column_deployment(config)
+        channel = AcousticChannel(sim)
+        nodes = [
+            Node(sim, i, pos, channel, is_sink=(i in dep.sink_ids))
+            for i, pos in enumerate(dep.positions)
+        ]
+        manager = MobilityManager(sim, nodes, config, model_mix=model_mix)
+        return sim, nodes, manager
+
+    def test_sinks_stay_static(self):
+        sim, nodes, manager = self._build()
+        assert manager.assignments[0] == "static"
+
+    def test_tether_bounds_wander(self):
+        sim, nodes, manager = self._build(model_mix=(0, 1, 0))
+        anchors = {n.node_id: n.position for n in nodes}
+        for _ in range(200):
+            manager.step(10.0)
+        for node in nodes:
+            assert node.position.distance_to(anchors[node.node_id]) <= manager.tether_m + 1e-6
+
+    def test_periodic_updates_via_simulator(self):
+        sim, nodes, manager = self._build(model_mix=(0, 1, 0))
+        start = [n.position for n in nodes if not n.is_sink]
+        manager.start()
+        sim.run(until=30.0)
+        moved = [
+            n.position.distance_to(s)
+            for n, s in zip([n for n in nodes if not n.is_sink], start)
+        ]
+        assert any(d > 0 for d in moved)
+        manager.stop()
+
+    def test_invalid_mix_rejected(self):
+        sim, nodes, _ = self._build()
+        config = DeploymentConfig(n_sensors=5)
+        with pytest.raises(ValueError):
+            MobilityManager(sim, nodes, config, model_mix=(1, 1))
+        with pytest.raises(ValueError):
+            MobilityManager(sim, nodes, config, model_mix=(0, 0, 0))
+
+
+class TestRouting:
+    def _build(self, n=40, seed=0):
+        sim = Simulator(seed=seed)
+        config = DeploymentConfig(n_sensors=n, seed=seed)
+        dep = connected_column_deployment(config)
+        channel = AcousticChannel(sim)
+        for i, pos in enumerate(dep.positions):
+            Node(sim, i, pos, channel, is_sink=(i in dep.sink_ids))
+        return channel, dep
+
+    def test_next_hop_is_shallower(self):
+        channel, dep = self._build()
+        routing = DepthRouting(channel, dep.sink_ids)
+        for node_id in dep.sensor_ids:
+            nxt = routing.next_hop(node_id)
+            if nxt is None:
+                continue
+            if nxt not in dep.sink_ids:
+                assert channel.position_of(nxt).z < channel.position_of(node_id).z
+
+    def test_routes_reach_sink_in_connected_deployment(self):
+        channel, dep = self._build(seed=1)
+        routing = DepthRouting(channel, dep.sink_ids)
+        reached = 0
+        for node_id in dep.sensor_ids:
+            path = routing.route_to_sink(node_id)
+            if path[-1] in dep.sink_ids:
+                reached += 1
+        assert reached >= len(dep.sensor_ids) * 0.9
+
+    def test_sink_in_range_preferred(self):
+        channel, dep = self._build(seed=2)
+        routing = DepthRouting(channel, dep.sink_ids)
+        for node_id in dep.sensor_ids:
+            neighbors = channel.neighbors_of(node_id)
+            in_range_sinks = [s for s in dep.sink_ids if s in neighbors]
+            if in_range_sinks:
+                assert routing.next_hop(node_id) in in_range_sinks
+
+    def test_requires_sinks(self):
+        channel, dep = self._build()
+        with pytest.raises(ValueError):
+            DepthRouting(channel, [])
+
+    def test_stranded_nodes_listed(self):
+        channel, dep = self._build(seed=3)
+        routing = DepthRouting(channel, dep.sink_ids)
+        stranded = routing.stranded_nodes()
+        for node_id in stranded:
+            assert routing.next_hop(node_id) is None
