@@ -18,6 +18,26 @@ from repro.experiments.figures import FigureData
 from repro.experiments.report import format_figure
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        help="run figure sweeps through the parallel engine with N worker "
+        "processes (0 = CPU count; default 1 = serial)",
+    )
+
+
+@pytest.fixture
+def sweep_workers(request):
+    """Worker count for benchmarks that route through the sweep engine.
+
+    ``--workers 0`` maps to None (CPU count) per the engine's convention.
+    """
+    workers = request.config.getoption("--workers")
+    return None if workers == 0 else workers
+
+
 def emit(data: FigureData) -> FigureData:
     """Print a regenerated figure (visible with ``pytest -s``)."""
     print()

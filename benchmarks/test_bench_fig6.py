@@ -10,8 +10,8 @@ from conftest import check_figure, emit
 from repro.experiments.figures import fig6
 
 
-def test_fig6_throughput_vs_offered_load(one_shot):
-    data = one_shot(fig6, quick=True)
+def test_fig6_throughput_vs_offered_load(one_shot, sweep_workers):
+    data = one_shot(fig6, quick=True, workers=sweep_workers)
     emit(data)
     check_figure(data, "fig6")
     # throughput does not shrink from the lightest to the heaviest load

@@ -7,7 +7,7 @@ visible without matplotlib (which is unavailable offline).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 #: Plot glyph per series, cycled in legend order.
 MARKERS = "ox+*#@%&"

@@ -17,7 +17,7 @@ sender's learned one-hop delays.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from .errors import (
     SchedulingError,
     SimulationError,
     SimulationStopped,
+    WallClockExceeded,
 )
 from .events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, Event, EventQueue
 from .process import Delay, Process, Signal, WaitSignal
@@ -41,5 +42,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "WaitSignal",
+    "WallClockExceeded",
     "derive_seed",
 ]

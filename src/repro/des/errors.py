@@ -15,3 +15,14 @@ class EventStateError(SimulationError):
 
 class SimulationStopped(SimulationError):
     """Raised internally to unwind the run loop when ``stop()`` is called."""
+
+
+class WallClockExceeded(SimulationError):
+    """The run loop passed its real-time (wall-clock) deadline.
+
+    Raised by :meth:`repro.des.simulator.Simulator.run` when a
+    ``wall_deadline`` was armed via
+    :meth:`~repro.des.simulator.Simulator.set_wall_deadline`.  Sweep
+    workers use this as a cooperative per-cell timeout: a runaway cell
+    unwinds cleanly instead of having to be killed from outside.
+    """

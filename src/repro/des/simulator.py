@@ -16,9 +16,11 @@ simulations.  A thin generator-process adapter is provided in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Optional
 
-from .errors import SchedulingError, SimulationStopped
+import time as _time
+
+from .errors import SchedulingError, SimulationStopped, WallClockExceeded
 from .events import Event, EventQueue, PRIORITY_NORMAL
 from .rng import RandomStreams
 from .trace import NullTracer, Tracer
@@ -45,6 +47,30 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        self._wall_deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Wall-clock budget (cooperative per-run timeout)
+    # ------------------------------------------------------------------
+    #: How many events to process between wall-clock checks; a power of
+    #: two so the modulo compiles to a mask.  Checking every event would
+    #: put a syscall on the hot path.
+    _WALL_CHECK_EVERY = 4096
+
+    def set_wall_deadline(self, budget_s: Optional[float]) -> None:
+        """Arm (or clear, with None) a real-time budget for :meth:`run`.
+
+        Once armed, :meth:`run` raises :class:`WallClockExceeded` the next
+        time it notices ``budget_s`` seconds of wall-clock time have
+        elapsed.  The check is cooperative (every ``_WALL_CHECK_EVERY``
+        events), so overshoot is bounded by the cost of that many events.
+        The deadline survives across multiple :meth:`run` calls — it is a
+        budget for the whole scenario, not one run window.
+        """
+        if budget_s is None:
+            self._wall_deadline = None
+        else:
+            self._wall_deadline = _time.monotonic() + float(budget_s)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -115,6 +141,15 @@ class Simulator:
                 assert event is not None
                 self.now = event.time
                 self.events_processed += 1
+                if (
+                    self._wall_deadline is not None
+                    and self.events_processed % self._WALL_CHECK_EVERY == 0
+                    and _time.monotonic() > self._wall_deadline
+                ):
+                    raise WallClockExceeded(
+                        f"wall-clock budget exhausted at t={self.now:.3f}s "
+                        f"({self.events_processed} events)"
+                    )
                 event._fire()
                 if self._stopped:
                     break
@@ -149,5 +184,6 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self._stopped = False
+        self._wall_deadline = None
         if seed is not None:
             self.streams = RandomStreams(seed)

@@ -23,7 +23,7 @@ Only relative ordering matters for reproducing the paper's figure shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from ..mac.base import SlottedMac
 

@@ -1,7 +1,9 @@
 """Experiment harness: Table 2 configs, scenarios, sweeps, figure runners."""
 
+from .cache import ResultCache, cell_key, code_version
 from .config import TABLE2, ScenarioConfig, table2_config
 from .figures import ALL_FIGURES, PAPER_EXPECTATIONS, FigureData
+from .parallel import ParallelSweepRunner, SweepCell, expand_cells
 from .report import format_figure, write_csv
 from .ablations import ALL_ABLATIONS
 from .scenario import Scenario, ScenarioResult, run_batch_scenario, run_scenario
@@ -23,13 +25,19 @@ __all__ = [
     "format_timeline",
     "PAPER_EXPECTATIONS",
     "PAPER_PROTOCOLS",
+    "ParallelSweepRunner",
+    "ResultCache",
     "Scenario",
     "ScenarioConfig",
     "ScenarioResult",
+    "SweepCell",
     "SweepSpec",
     "TABLE2",
     "aggregate",
     "aggregate_relative",
+    "cell_key",
+    "code_version",
+    "expand_cells",
     "format_figure",
     "run_batch_scenario",
     "run_scenario",

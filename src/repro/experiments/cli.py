@@ -11,9 +11,10 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .ablations import ALL_ABLATIONS
 from .config import TABLE2
@@ -52,12 +53,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=str, default=None, metavar="DIR", help="also write CSVs here"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan sweep cells over N worker processes (0 = CPU count; "
+        "default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell instead of reusing the on-disk result "
+        "cache (default cache dir: ./.repro-cache, override with "
+        "$REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell wall-clock budget for parallel runs; cells over "
+        "budget are re-run serially",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
         "--chart", action="store_true", help="also render ASCII line charts"
     )
     return parser
+
+
+def _engine_kwargs(runner, args: argparse.Namespace) -> Dict[str, object]:
+    """Sweep-engine kwargs for runners that support them.
+
+    The figure runners route through the parallel engine; the ablation
+    runners drive scenarios directly (their tweaks are closures) and take
+    no engine arguments, so only the parameters a runner declares are
+    passed.
+    """
+    supported = inspect.signature(runner).parameters
+    kwargs: Dict[str, object] = {}
+    if "workers" in supported:
+        kwargs["workers"] = None if args.workers == 0 else args.workers
+    if "cache" in supported:
+        kwargs["cache"] = not args.no_cache
+    if "cell_timeout_s" in supported and args.cell_timeout is not None:
+        kwargs["cell_timeout_s"] = args.cell_timeout
+    return kwargs
 
 
 def _print_table2() -> None:
@@ -75,7 +118,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.csv:
             print("report needs --csv DIR (where the figure CSVs live)", file=sys.stderr)
             return 2
-        from .comparison import build_comparison_markdown
         from .experiments_doc import build_experiments_md
 
         text = build_experiments_md(Path(args.csv))
@@ -92,7 +134,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     seeds = tuple(range(1, args.seeds + 1))
     for target in targets:
         runner = _RUNNERS[target]
-        data = runner(seeds=seeds, quick=args.quick, progress=progress)
+        kwargs = _engine_kwargs(runner, args)
+        data = runner(seeds=seeds, quick=args.quick, progress=progress, **kwargs)
         print(format_figure(data))
         if args.chart:
             from ..analysis.charts import figure_chart

@@ -7,7 +7,7 @@ sweep override its own axis (offered load, node count, packet size, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 #: Paper Table 2, verbatim.

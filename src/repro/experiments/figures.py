@@ -13,7 +13,7 @@ claims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from .config import ScenarioConfig, table2_config
@@ -105,12 +105,23 @@ def fig6(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 6: throughput at different offered loads (60 sensors)."""
     loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
     base = table2_config(sim_time_s=100.0 if quick else 300.0)
     seeds = seeds[:1] if quick else seeds
-    results = run_sweep(_steady_spec(loads, "offered_load_kbps"), base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        _steady_spec(loads, "offered_load_kbps"),
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate(results, loads, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
     return FigureData(
         figure_id="fig6",
@@ -130,6 +141,9 @@ def fig7(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 7: throughput at different sensor densities (0.8 kbps)."""
     nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
@@ -137,7 +151,15 @@ def fig7(
         offered_load_kbps=0.8, sim_time_s=100.0 if quick else 300.0
     )
     seeds = seeds[:1] if quick else seeds
-    results = run_sweep(_steady_spec(nodes, "n_sensors"), base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        _steady_spec(nodes, "n_sensors"),
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate(results, nodes, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
     return FigureData(
         figure_id="fig7",
@@ -157,6 +179,9 @@ def fig8(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 8: time to complete a fixed batch of transmissions."""
     loads = [0.1, 0.6, 1.0] if quick else [0.01, 0.2, 0.4, 0.6, 0.8, 1.0]
@@ -178,7 +203,15 @@ def fig8(
         configure=_steady_spec(loads, "offered_load_kbps").configure,
         batch=batch_size,
     )
-    results = run_sweep(spec, base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        spec,
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate(
         results,
         loads,
@@ -222,6 +255,9 @@ def fig9a(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 9a: energy to deliver the offered information, 80 sensors.
 
@@ -237,7 +273,15 @@ def fig9a(
         configure=_steady_spec(loads, "offered_load_kbps").configure,
         batch=lambda x, config: _fig9_batch(x, config, quick),
     )
-    results = run_sweep(spec, base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        spec,
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate(results, loads, PAPER_PROTOCOLS, _batch_energy_mw)
     return FigureData(
         figure_id="fig9a",
@@ -254,6 +298,9 @@ def fig9b(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 9b: drain energy vs number of sensors at 0.3 kbps."""
     nodes = [60, 90, 120] if quick else [60, 80, 100, 120]
@@ -266,7 +313,15 @@ def fig9b(
         configure=_steady_spec(nodes, "n_sensors").configure,
         batch=lambda x, config: _fig9_batch(0.3, config, quick),
     )
-    results = run_sweep(spec, base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        spec,
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate(
         results, [float(n) for n in nodes], PAPER_PROTOCOLS, _batch_energy_mw
     )
@@ -288,6 +343,9 @@ def fig10a(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 10a: overhead ratio vs node count at 0.5 kbps."""
     nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
@@ -295,7 +353,15 @@ def fig10a(
         offered_load_kbps=0.5, sim_time_s=100.0 if quick else 300.0
     )
     seeds = seeds[:1] if quick else seeds
-    results = run_sweep(_steady_spec(nodes, "n_sensors"), base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        _steady_spec(nodes, "n_sensors"),
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate_relative(
         results, nodes, PAPER_PROTOCOLS, lambda r: r.overhead_units
     )
@@ -314,6 +380,9 @@ def fig10b(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 10b: overhead ratio vs offered load (dense network).
 
@@ -325,7 +394,15 @@ def fig10b(
         n_sensors=100 if quick else 200, sim_time_s=100.0 if quick else 300.0
     )
     seeds = seeds[:1] if quick else seeds
-    results = run_sweep(_steady_spec(loads, "offered_load_kbps"), base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        _steady_spec(loads, "offered_load_kbps"),
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate_relative(
         results, loads, PAPER_PROTOCOLS, lambda r: r.overhead_units
     )
@@ -347,12 +424,23 @@ def fig11(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
     progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 11: Eq. (4) efficiency index, S-FAMA normalized to 1."""
     loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
     base = table2_config(sim_time_s=100.0 if quick else 300.0)
     seeds = seeds[:1] if quick else seeds
-    results = run_sweep(_steady_spec(loads, "offered_load_kbps"), base, seeds=seeds, progress=progress)
+    results = run_sweep(
+        _steady_spec(loads, "offered_load_kbps"),
+        base,
+        seeds=seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
     series = aggregate_relative(
         results, loads, PAPER_PROTOCOLS, lambda r: r.efficiency.value
     )

@@ -12,7 +12,7 @@ comparison report can check orderings mechanically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 #: Protocols in the paper's legend order.
 PROTOCOLS = ("S-FAMA", "ROPA", "CS-MAC", "EW-MAC")

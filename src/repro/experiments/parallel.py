@@ -1,0 +1,301 @@
+"""Parallel sweep execution engine.
+
+A figure sweep is a grid of (x, protocol, seed) cells, each an independent
+deterministic simulation — exactly the embarrassingly-parallel shape a
+process pool wants.  :class:`ParallelSweepRunner` expands a
+:class:`~repro.experiments.sweeps.SweepSpec` into picklable
+:class:`SweepCell` work items **in the parent** (so the spec's closures
+never cross a process boundary), fans the items over a spawn-safe worker
+pool, and reassembles results in the exact order the serial loop would
+have produced them — ``run_sweep(..., workers=4)`` is bit-identical to
+``workers=1`` because every cell derives all randomness from its own
+config seed (see :mod:`repro.des.rng`).
+
+Failure handling is two-layered:
+
+* **Per-cell timeout** — workers arm the DES kernel's cooperative
+  wall-clock deadline (:meth:`Simulator.set_wall_deadline`), so a runaway
+  cell unwinds with :class:`WallClockExceeded` instead of wedging its
+  worker.  A parent-side guard window catches workers hung outside the
+  event loop.
+* **Crashed-worker recovery** — a cell whose worker raises or dies
+  (``BrokenProcessPool``) is requeued and re-run *serially* in the parent
+  with no deadline, so one bad worker never loses a sweep.
+
+Results can be memoized through :class:`~repro.experiments.cache.ResultCache`;
+cache lookups happen in the parent before any work is dispatched, so a
+warm-cache rerun performs zero scenario executions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..des.errors import WallClockExceeded
+from .cache import ResultCache, cell_key, code_version, resolve_cache
+from .config import ScenarioConfig
+from .scenario import Scenario, ScenarioResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from .sweeps import GridResults, SweepSpec
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-resolved grid cell: a picklable, self-contained work item.
+
+    ``config`` already has the (x, protocol, seed) overrides applied, and
+    ``batch`` the evaluated batch parameters, so a worker needs nothing
+    from the sweep spec (whose ``configure`` callable may be an
+    unpicklable closure).
+    """
+
+    index: int
+    x: float
+    protocol: str
+    seed: int
+    config: ScenarioConfig
+    batch: Optional[Tuple[int, float]] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.protocol} x={self.x} seed={self.seed}"
+
+
+def expand_cells(
+    spec: "SweepSpec",
+    base: ScenarioConfig,
+    protocols: Sequence[str],
+    seeds: Sequence[int],
+) -> List[SweepCell]:
+    """Flatten a sweep grid into work items, in serial-loop order."""
+    cells: List[SweepCell] = []
+    for x in spec.x_values:
+        for protocol in protocols:
+            for seed in seeds:
+                config = spec.configure(base, x, protocol, seed)
+                batch: Optional[Tuple[int, float]] = None
+                if spec.batch is not None:
+                    n_packets, max_time_s = spec.batch(x, config)
+                    batch = (int(n_packets), float(max_time_s))
+                cells.append(
+                    SweepCell(len(cells), x, protocol, seed, config, batch)
+                )
+    return cells
+
+
+def execute_cell(
+    cell: SweepCell, wall_budget_s: Optional[float] = None
+) -> ScenarioResult:
+    """Run one cell to completion (steady-state or batch-drain)."""
+    scenario = Scenario(cell.config)
+    if wall_budget_s is not None:
+        scenario.sim.set_wall_deadline(wall_budget_s)
+    if cell.batch is not None:
+        n_packets, max_time_s = cell.batch
+        return scenario.run_batch(n_packets, max_time_s)
+    return scenario.run_steady_state()
+
+
+def _pool_worker(
+    cell: SweepCell, wall_budget_s: Optional[float]
+) -> Tuple[int, float, ScenarioResult]:
+    """Pool entry point: returns (cell index, wall-clock seconds, result)."""
+    started = time.perf_counter()
+    result = execute_cell(cell, wall_budget_s)
+    return cell.index, time.perf_counter() - started, result
+
+
+class ParallelSweepRunner:
+    """Fan sweep cells over a process pool, with caching and recovery.
+
+    Args:
+        workers: Pool size; ``None``/``0`` uses the CPU count, ``1`` runs
+            in-process (still honouring the cache).
+        cache: ``None``/``False`` (off), ``True`` (default location), a
+            path, or a :class:`ResultCache`.
+        cell_timeout_s: Cooperative wall-clock budget per cell.  A cell
+            that exceeds it is requeued and re-run serially with no
+            budget, so the sweep still completes.
+        progress: Same callback contract as :func:`run_sweep`; receives a
+            line per cell with its wall-clock cost (or ``cached``).
+        mp_context: ``multiprocessing`` start method; ``spawn`` (default)
+            is safe everywhere and matches what macOS/Windows force.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: object = None,
+        cell_timeout_s: Optional[float] = None,
+        progress: Progress = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self.cache: Optional[ResultCache] = resolve_cache(cache)  # type: ignore[arg-type]
+        self.cell_timeout_s = cell_timeout_s
+        self.progress = progress
+        self.mp_context = mp_context
+        #: Cells whose first (pooled) attempt timed out or crashed and
+        #: which were re-run serially — observability for tests and CLIs.
+        self.requeued: List[SweepCell] = []
+
+    # ------------------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(
+        self,
+        spec: "SweepSpec",
+        base: ScenarioConfig,
+        protocols: Sequence[str],
+        seeds: Sequence[int],
+    ) -> "GridResults":
+        """Run every cell and reassemble the serial-ordered grid."""
+        cells = expand_cells(spec, base, protocols, seeds)
+        results = self.run_cells(cells)
+        grid: Dict[Tuple[float, str], List[ScenarioResult]] = {}
+        for cell, result in zip(cells, results):
+            grid.setdefault((cell.x, cell.protocol), []).append(result)
+        return grid
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[ScenarioResult]:
+        """Execute cells (cache, pool, recovery) and return them in order."""
+        self.requeued = []
+        results: List[Optional[ScenarioResult]] = [None] * len(cells)
+        keys: Dict[int, str] = {}
+        pending: List[SweepCell] = []
+        if self.cache is not None:
+            version = code_version()
+            for cell in cells:
+                keys[cell.index] = cell_key(cell.config, cell.batch, version)
+        for cell in cells:
+            if self.cache is not None:
+                hit = self.cache.get(keys[cell.index])
+                if hit is not None:
+                    results[cell.index] = hit
+                    self._emit(f"{cell.label} cached")
+                    continue
+            pending.append(cell)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                self._run_serial(pending, results, keys)
+            else:
+                retry = self._run_pool(pending, results, keys)
+                if retry:
+                    self.requeued = sorted(retry, key=lambda c: c.index)
+                    self._run_serial(self.requeued, results, keys)
+
+        missing = [cell.label for cell in cells if results[cell.index] is None]
+        if missing:  # pragma: no cover - defensive; recovery should fill all
+            raise RuntimeError(f"sweep cells never completed: {missing}")
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        cell: SweepCell,
+        result: ScenarioResult,
+        elapsed_s: float,
+        results: List[Optional[ScenarioResult]],
+        keys: Dict[int, str],
+        note: str = "",
+    ) -> None:
+        results[cell.index] = result
+        if self.cache is not None:
+            self.cache.put(keys[cell.index], result)
+        self._emit(f"{cell.label} done in {elapsed_s:.2f}s{note}")
+
+    def _run_serial(
+        self,
+        cells: Sequence[SweepCell],
+        results: List[Optional[ScenarioResult]],
+        keys: Dict[int, str],
+    ) -> None:
+        """In-parent execution: the workers=1 path and the recovery path.
+
+        Runs with no wall-clock budget — a requeued cell must be allowed
+        to finish, otherwise the sweep could never complete.
+        """
+        for cell in cells:
+            started = time.perf_counter()
+            result = execute_cell(cell)
+            self._finish(cell, result, time.perf_counter() - started, results, keys)
+
+    def _run_pool(
+        self,
+        cells: Sequence[SweepCell],
+        results: List[Optional[ScenarioResult]],
+        keys: Dict[int, str],
+    ) -> List[SweepCell]:
+        """Pooled execution; returns the cells that need a serial retry."""
+        context = multiprocessing.get_context(self.mp_context)
+        n_workers = min(self.workers, len(cells))
+        retry: List[SweepCell] = []
+        # A worker stuck *outside* the event loop never hits the
+        # cooperative deadline, so the parent also bounds how long it will
+        # wait between completions before declaring the pool hung.
+        guard_s = (
+            None if self.cell_timeout_s is None else max(2 * self.cell_timeout_s, 30.0)
+        )
+        pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=context)
+        hung = False
+        try:
+            future_to_cell = {
+                pool.submit(_pool_worker, cell, self.cell_timeout_s): cell
+                for cell in cells
+            }
+            waiting = set(future_to_cell)
+            while waiting:
+                done, waiting = wait(
+                    waiting, timeout=guard_s, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Guard window expired with no completions: the pool is
+                    # hung.  Abandon it; everything unfinished retries
+                    # serially.
+                    retry.extend(future_to_cell[f] for f in waiting)
+                    hung = True
+                    self._emit(
+                        f"pool hung ({len(waiting)} cells unfinished), "
+                        "requeueing serially"
+                    )
+                    break
+                for future in done:
+                    cell = future_to_cell[future]
+                    try:
+                        _, elapsed_s, result = future.result()
+                    except WallClockExceeded:
+                        retry.append(cell)
+                        self._emit(f"{cell.label} timed out, requeueing serially")
+                    except BrokenProcessPool:
+                        retry.append(cell)
+                        self._emit(f"{cell.label} lost to a dead worker, requeueing")
+                    except Exception as exc:  # worker raised: requeue
+                        retry.append(cell)
+                        self._emit(
+                            f"{cell.label} crashed ({type(exc).__name__}: {exc}), "
+                            "requeueing serially"
+                        )
+                    else:
+                        self._finish(cell, result, elapsed_s, results, keys)
+        finally:
+            # cancel_futures keeps a hung/broken pool from blocking exit;
+            # Python 3.9+ supports the keyword.
+            pool.shutdown(wait=False, cancel_futures=True)
+            if hung:
+                # A wedged worker would otherwise be joined at interpreter
+                # exit; there is no public kill API on the executor.
+                for process in getattr(pool, "_processes", {}).values():
+                    process.terminate()
+        return retry

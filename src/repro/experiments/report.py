@@ -5,7 +5,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from .figures import FigureData
 

@@ -10,7 +10,7 @@ or the batch-drain experiment (Fig. 8), and produces a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..des.rng import derive_seed

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .config import ScenarioConfig
 from .scenario import Scenario, ScenarioResult
@@ -43,8 +43,35 @@ def run_sweep(
     protocols: Sequence[str] = PAPER_PROTOCOLS,
     seeds: Sequence[int] = (1, 2, 3),
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
 ) -> GridResults:
-    """Run every (x, protocol, seed) cell of a sweep."""
+    """Run every (x, protocol, seed) cell of a sweep.
+
+    Args:
+        workers: ``1`` (default) runs the classic in-process loop;
+            ``N > 1`` (or ``None``/``0`` for the CPU count) fans cells out
+            over a spawn-safe process pool via
+            :class:`~repro.experiments.parallel.ParallelSweepRunner`.
+            Cell order, seed pairing, and results are identical either way.
+        cache: ``None`` (off), ``True`` (default on-disk location), a
+            directory path, or a
+            :class:`~repro.experiments.cache.ResultCache` — previously
+            computed cells are reused instead of re-simulated.
+        cell_timeout_s: Optional per-cell wall-clock budget (pooled runs
+            only); cells that exceed it are re-run serially to completion.
+    """
+    if (workers is None or workers != 1) or cache not in (None, False):
+        from .parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(
+            workers=workers,
+            cache=cache,
+            cell_timeout_s=cell_timeout_s,
+            progress=progress,
+        )
+        return runner.run(spec, base, protocols=protocols, seeds=seeds)
     results: GridResults = {}
     for x in spec.x_values:
         for protocol in protocols:
@@ -86,7 +113,18 @@ def aggregate_relative(
     metric: Callable[[ScenarioResult], float],
     baseline_protocol: str = "S-FAMA",
 ) -> Dict[str, List[float]]:
-    """Like :func:`aggregate` but normalized per-x to a baseline protocol."""
+    """Like :func:`aggregate` but normalized per-x to a baseline protocol.
+
+    Raises:
+        ValueError: If ``baseline_protocol`` is not among ``protocols``
+            (the baseline must itself have been swept to normalize to it).
+    """
+    if baseline_protocol not in protocols:
+        raise ValueError(
+            f"baseline protocol {baseline_protocol!r} is not among the swept "
+            f"protocols {list(protocols)!r}; pass baseline_protocol= one of "
+            "those, or add it to the sweep"
+        )
     absolute = aggregate(results, x_values, protocols, metric)
     baseline = absolute[baseline_protocol]
     series: Dict[str, List[float]] = {}

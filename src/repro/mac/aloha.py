@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..phy.frame import Frame, FrameType, control_frame, data_frame
+from ..phy.frame import Frame, FrameType, data_frame
 from ..phy.modem import Arrival
 from .base import MacConfig, MacState, SlottedMac
 

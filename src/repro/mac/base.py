@@ -25,9 +25,9 @@ handler :meth:`handle_protocol_frame`.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple
+from typing import Callable, Deque, List, Optional, Set, Tuple
 
 from ..des.events import Event
 from ..des.simulator import Simulator
@@ -494,7 +494,10 @@ class SlottedMac:
         uid = frame.info.get("req_uid")
         if uid is None:
             return True
-        key = (frame.src, int(uid))
+        try:
+            key = (frame.src, int(uid))
+        except (TypeError, ValueError, OverflowError):
+            return True  # malformed uid from a hostile frame: cannot dedup
         if key in self._seen_data:
             self.stats.duplicate_data += 1
             return False

@@ -6,7 +6,7 @@ protocol available to every figure sweep and to the CLI.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from .base import SlottedMac
 from .csmac import CsMac

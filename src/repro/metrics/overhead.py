@@ -28,7 +28,7 @@ The paper reports overhead as a *ratio to S-FAMA* (its Fig. 10); use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 from ..mac.base import SlottedMac
 

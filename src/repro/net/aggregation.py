@@ -13,8 +13,8 @@ the age limit expires (monitoring data must not go stale indefinitely).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..des.events import Event
 from ..des.simulator import Simulator

@@ -13,7 +13,7 @@ charge its periodic refresh traffic to the overhead accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 

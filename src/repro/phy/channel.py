@@ -16,7 +16,7 @@ robustness ablations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from ..acoustic.fading import FadingProcess, NoFading

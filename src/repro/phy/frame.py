@@ -122,7 +122,7 @@ def safe_bits(value: Any, default: int = CONTROL_PACKET_BITS, minimum: int = 1) 
     """
     try:
         bits = int(value)
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):  # inf overflows int()
         return default
     return bits if bits >= minimum else default
 

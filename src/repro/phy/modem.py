@@ -16,7 +16,7 @@ Implements the paper's antenna constraints (Sec. 3.2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional, TYPE_CHECKING
 

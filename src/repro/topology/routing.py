@@ -14,7 +14,7 @@ delays, as the paper requires.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..phy.channel import AcousticChannel
 

@@ -1,6 +1,5 @@
 """Unit tests for the fading processes and channel integration."""
 
-import math
 import statistics
 
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the acoustic channel physics."""
 
-import math
 
 import pytest
 

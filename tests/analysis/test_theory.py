@@ -6,7 +6,6 @@ import pytest
 
 from repro.analysis.theory import (
     HandshakeModel,
-    contention_domain_capacity_bps,
     contention_success_probability,
     expected_contention_rounds,
     offered_load_saturation_point_kbps,

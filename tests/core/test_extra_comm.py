@@ -15,7 +15,6 @@ from repro.des.trace import Tracer
 from repro.mac.slots import make_slot_timing
 from repro.net.node import Node
 from repro.phy.channel import AcousticChannel
-from repro.phy.frame import FrameType
 
 
 def build_triangle(seed=0):

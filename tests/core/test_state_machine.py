@@ -89,7 +89,6 @@ def test_self_transition_is_noop():
 
 
 def test_can_transition_matches_table():
-    machine = Fig3StateMachine()
     for (src, dst) in TRANSITIONS:
         m = Fig3StateMachine()
         m.state = src

@@ -50,7 +50,7 @@ def test_cancel_skips_event():
 
 def test_cancel_fired_event_raises():
     q = EventQueue()
-    event = q.push(0.0, lambda: None)
+    q.push(0.0, lambda: None)
     popped = q.pop()
     popped._fire()
     with pytest.raises(EventStateError):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.des.errors import SchedulingError
+from repro.des.errors import SchedulingError, WallClockExceeded
 from repro.des.simulator import Simulator
 
 
@@ -114,6 +114,39 @@ def test_events_processed_counter():
         sim.schedule(float(i), lambda: None)
     sim.run()
     assert sim.events_processed == 5
+
+
+def test_wall_deadline_unwinds_runaway_run():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)  # never drains
+
+    sim.schedule(0.0, reschedule)
+    sim.set_wall_deadline(0.0)  # already expired: first check trips it
+    with pytest.raises(WallClockExceeded):
+        sim.run()
+    # the cooperative check fires every _WALL_CHECK_EVERY events
+    assert sim.events_processed == Simulator._WALL_CHECK_EVERY
+
+
+def test_wall_deadline_disarmed_and_generous_budgets_pass():
+    sim = Simulator()
+    for i in range(2 * Simulator._WALL_CHECK_EVERY):
+        sim.schedule(float(i), lambda: None)
+    sim.set_wall_deadline(3600.0)
+    sim.run()  # far under budget: completes normally
+    sim.set_wall_deadline(None)
+    assert sim._wall_deadline is None
+
+
+def test_reset_clears_wall_deadline():
+    sim = Simulator()
+    sim.set_wall_deadline(0.0)
+    sim.reset()
+    assert sim._wall_deadline is None
+    sim.schedule(1.0, lambda: None)
+    sim.run()  # no deadline left armed
 
 
 def test_deterministic_rng_streams():

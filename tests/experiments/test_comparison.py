@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.comparison import (
-    ClaimCheck,
     MeasuredFigure,
     build_comparison_markdown,
     check_claims,

@@ -1,6 +1,5 @@
 """Tests for EXPERIMENTS.md assembly and the report CLI target."""
 
-from pathlib import Path
 
 import pytest
 

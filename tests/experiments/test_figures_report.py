@@ -53,6 +53,25 @@ class TestSweeps:
         )
         assert series["S-FAMA"] == pytest.approx([1.0, 1.0])
 
+    def test_aggregate_relative_rejects_missing_baseline(self):
+        results, spec, protocols = tiny_sweep()
+        with pytest.raises(ValueError, match="baseline protocol 'ALOHA'"):
+            aggregate_relative(
+                results,
+                spec.x_values,
+                protocols,
+                lambda r: r.overhead_units,
+                baseline_protocol="ALOHA",
+            )
+
+    def test_aggregate_relative_default_baseline_must_be_swept(self):
+        results, spec, protocols = tiny_sweep()
+        # drop the default S-FAMA baseline from the protocol set
+        with pytest.raises(ValueError, match="S-FAMA"):
+            aggregate_relative(
+                results, spec.x_values, ("EW-MAC",), lambda r: r.overhead_units
+            )
+
     def test_progress_callback_called(self):
         messages = []
         base = table2_config(n_sensors=8, sim_time_s=10.0)

@@ -13,7 +13,6 @@ from repro.acoustic.propagation import SspRayPropagation
 from repro.acoustic.soundspeed import MackenzieProfile
 from repro.des.rng import derive_seed
 from repro.des.simulator import Simulator
-from repro.experiments.config import table2_config
 from repro.mac.slots import make_slot_timing
 from repro.net.node import Node
 from repro.phy.channel import AcousticChannel

@@ -1,6 +1,5 @@
 """Tests for the slotted-ALOHA extension baseline."""
 
-import pytest
 
 from repro.acoustic.geometry import Position
 from repro.des.simulator import Simulator

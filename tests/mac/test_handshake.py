@@ -10,7 +10,6 @@ from repro.mac.sfama import SFama
 from repro.mac.slots import make_slot_timing
 from repro.net.node import Node
 from repro.phy.channel import AcousticChannel
-from repro.phy.frame import FrameType
 
 
 def build_network(positions, seed=0, protocol=SFama, hello_window=2.0):

@@ -3,12 +3,10 @@
 import pytest
 
 from repro.acoustic.geometry import Position
-from repro.des.simulator import Simulator
 from repro.mac.sfama import SFama
-from repro.mac.slots import make_slot_timing
 from repro.net.node import Node
 from repro.phy.channel import AcousticChannel
-from repro.phy.frame import CONTROL_PACKET_BITS, FrameType, control_frame, data_frame
+from repro.phy.frame import FrameType, control_frame, data_frame
 from repro.phy.modem import Arrival
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.acoustic.geometry import Position
-from repro.des.simulator import Simulator
 from repro.net.aggregation import ReadingAggregator
 from repro.net.node import Node
 from repro.phy.channel import AcousticChannel

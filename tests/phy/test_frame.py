@@ -5,7 +5,6 @@ import pytest
 from repro.phy.frame import (
     BROADCAST,
     CONTROL_PACKET_BITS,
-    Frame,
     FrameType,
     control_frame,
     data_frame,

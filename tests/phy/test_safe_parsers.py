@@ -1,8 +1,6 @@
 """Unit tests for the hardened frame-field parsers (fuzz-derived)."""
 
-import math
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

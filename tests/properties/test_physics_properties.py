@@ -1,6 +1,6 @@
 """Property-based tests for acoustic physics invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.acoustic.attenuation import PathLossModel, thorp_absorption_db_per_km

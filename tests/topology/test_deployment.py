@@ -3,7 +3,6 @@
 import pytest
 
 from repro.topology.deployment import (
-    Deployment,
     DeploymentConfig,
     connected_column_deployment,
     density_link_scale,
