@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Gate pytest-benchmark results against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py CURRENT.json BASELINE.json \
+        [--threshold 0.25]
+
+Compares each benchmark's mean wall time in ``CURRENT.json`` (a
+``pytest --benchmark-json`` export) against the same benchmark in
+``BASELINE.json``.  Exits non-zero if any benchmark's mean regressed by
+more than ``--threshold`` (default 25%).  A missing baseline file, or a
+benchmark absent from the baseline, is reported and *skipped* rather than
+failed, so the gate cannot block the PR that introduces a new benchmark —
+commit a refreshed baseline to arm it.
+
+Baselines are machine-dependent: refresh the committed file from the CI
+runner class it gates (see docs/reproduction_guide.md, "Performance").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON export."""
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: float(bench["stats"]["mean"])
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def compare(
+    current: Dict[str, float], baseline: Dict[str, float], threshold: float
+) -> int:
+    """Print a verdict per benchmark; return the number of regressions."""
+    regressions = 0
+    for name, mean in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"SKIP  {name}: not in baseline (commit a refreshed one)")
+            continue
+        if base <= 0:
+            print(f"SKIP  {name}: baseline mean is {base} (unusable)")
+            continue
+        ratio = mean / base
+        verdict = "FAIL" if ratio > 1.0 + threshold else "ok"
+        print(
+            f"{verdict:4s}  {name}: {mean:.3f}s vs baseline {base:.3f}s "
+            f"({ratio - 1.0:+.1%})"
+        )
+        if ratio > 1.0 + threshold:
+            regressions += 1
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh --benchmark-json export")
+    parser.add_argument("baseline", type=Path, help="committed baseline export")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not args.current.exists():
+        print(f"error: current results {args.current} not found", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(
+            f"SKIP  baseline {args.baseline} not found; benchmark gate is "
+            "unarmed until a baseline is committed"
+        )
+        return 0
+    current = load_means(args.current)
+    baseline = load_means(args.baseline)
+    if not current:
+        print("error: current export contains no benchmarks", file=sys.stderr)
+        return 2
+    regressions = compare(current, baseline, args.threshold)
+    if regressions:
+        print(
+            f"\n{regressions} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}; if intentional, refresh the baseline."
+        )
+        return 1
+    print("\nno benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

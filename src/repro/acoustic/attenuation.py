@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 #: Practical spreading factor commonly used for UASN link budgets.
 PRACTICAL_SPREADING = 1.5
@@ -19,11 +20,16 @@ SPHERICAL_SPREADING = 2.0
 CYLINDRICAL_SPREADING = 1.0
 
 
+@lru_cache(maxsize=256)
 def thorp_absorption_db_per_km(frequency_khz: float) -> float:
     """Thorp's absorption coefficient in dB/km.
 
     Uses the full Thorp formula for f >= 0.4 kHz and the low-frequency
     variant below that (Urick, *Principles of Underwater Sound*).
+
+    The coefficient is pure in the frequency, and the channel hot path
+    evaluates it for the same carrier on every path-loss query, so the
+    result is memoized.
     """
     if frequency_khz <= 0:
         raise ValueError("frequency must be positive")
@@ -50,6 +56,14 @@ class PathLossModel:
     frequency_khz: float = 10.0
     spreading: float = PRACTICAL_SPREADING
 
+    def _absorption_db_per_km(self) -> float:
+        """Thorp coefficient for this model's carrier, computed once."""
+        cached = self.__dict__.get("_absorption_cache")
+        if cached is None:
+            cached = thorp_absorption_db_per_km(self.frequency_khz)
+            object.__setattr__(self, "_absorption_cache", cached)
+        return cached
+
     def path_loss_db(self, distance_m: float) -> float:
         """Total transmission loss A(l, f) in dB at ``distance_m`` metres.
 
@@ -58,7 +72,7 @@ class PathLossModel:
         """
         distance_m = max(distance_m, 1.0)
         distance_km = distance_m / 1000.0
-        absorption = thorp_absorption_db_per_km(self.frequency_khz)
+        absorption = self._absorption_db_per_km()
         return self.spreading * 10.0 * math.log10(distance_m) + distance_km * absorption
 
     def received_level_db(self, source_level_db: float, distance_m: float) -> float:

@@ -13,7 +13,15 @@ from typing import Iterable, Tuple
 
 @dataclass(frozen=True)
 class Position:
-    """An immutable point in the water column (metres; z = depth, +down)."""
+    """An immutable point in the water column (metres; z = depth, +down).
+
+    ``__slots__`` is declared manually (rather than ``slots=True``, which
+    needs Python >= 3.10): positions are created per mobility step and per
+    geometry query across the whole deployment, and the slotted layout
+    both shrinks them and speeds attribute access in ``distance_to``.
+    """
+
+    __slots__ = ("x", "y", "z")
 
     x: float
     y: float

@@ -50,8 +50,25 @@ class LinkBudget:
         return self.path_loss.received_level_db(self.source_level_db, distance_m)
 
     def noise_level_db(self) -> float:
-        """Band-integrated ambient noise level in dB re 1 uPa."""
-        return self.noise.band_level_db(self.path_loss.frequency_khz, self.bandwidth_hz)
+        """Band-integrated ambient noise level in dB re 1 uPa.
+
+        Constant for a frozen instance (carrier and bandwidth are fields),
+        so it is computed exactly once and memoized outside the dataclass
+        fields — SINR is evaluated for every arrival at every modem.
+        """
+        cached = self.__dict__.get("_noise_level_cache")
+        if cached is None:
+            cached = self.noise.band_level_db(self.path_loss.frequency_khz, self.bandwidth_hz)
+            object.__setattr__(self, "_noise_level_cache", cached)
+        return cached
+
+    def noise_power_linear(self) -> float:
+        """The band noise as linear power (memoized alongside the dB level)."""
+        cached = self.__dict__.get("_noise_linear_cache")
+        if cached is None:
+            cached = db_to_linear(self.noise_level_db())
+            object.__setattr__(self, "_noise_linear_cache", cached)
+        return cached
 
     def snr_db(self, distance_m: float) -> float:
         """Signal-to-(ambient)-noise ratio in dB at ``distance_m``."""
@@ -62,7 +79,7 @@ class LinkBudget:
     ) -> float:
         """SINR with interferers summed in the linear power domain."""
         signal = db_to_linear(self.received_level_db(signal_distance_m))
-        noise = db_to_linear(self.noise_level_db())
+        noise = self.noise_power_linear()
         interference = sum(
             db_to_linear(self.received_level_db(d)) for d in interferer_distances_m
         )
@@ -73,7 +90,7 @@ class LinkBudget:
     ) -> float:
         """SINR when received levels (dB) are already known."""
         signal = db_to_linear(signal_level_db)
-        noise = db_to_linear(self.noise_level_db())
+        noise = self.noise_power_linear()
         interference = sum(db_to_linear(level) for level in interferer_levels_db)
         return linear_to_db(signal / (noise + interference))
 

@@ -106,6 +106,13 @@ class Event:
 class EventQueue:
     """Binary-heap priority queue of :class:`Event` objects.
 
+    Heap entries are ``(time, priority, seq, event)`` tuples rather than
+    the events themselves: CPython compares tuples of floats/ints entirely
+    in C, and the unique ``seq`` guarantees the comparison never falls
+    through to the :class:`Event` element.  On a 300 s figure cell the
+    kernel performs millions of heap comparisons, so keeping them out of
+    Python-level ``__lt__`` is a measurable win.
+
     Cancelled events are dropped lazily on pop.  The queue periodically
     compacts itself when the fraction of dead entries grows large, keeping
     memory bounded for long simulations with heavy timer cancellation
@@ -118,7 +125,7 @@ class EventQueue:
     _COMPACT_MIN = 64
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._live = 0
 
@@ -136,15 +143,17 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
     ) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``; return handle."""
-        event = Event(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest pending event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.pending:
                 self._live -= 1
                 return event
@@ -153,12 +162,13 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, if any."""
-        while self._heap and not self._heap[0].pending:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and not heap[0][3].pending:
+            heapq.heappop(heap)
+        if not heap:
             self._live = 0
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def note_cancelled(self) -> None:
         """Inform the queue that one live entry was cancelled externally.
@@ -177,7 +187,7 @@ class EventQueue:
             len(self._heap) > self._COMPACT_MIN
             and dead > len(self._heap) * self._COMPACT_RATIO
         ):
-            self._heap = [e for e in self._heap if e.pending]
+            self._heap = [entry for entry in self._heap if entry[3].pending]
             heapq.heapify(self._heap)
 
     def clear(self) -> None:

@@ -47,6 +47,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Wall-clock seconds spent inside :meth:`run` (perf instrumentation).
+        self.wall_time_s: float = 0.0
         self._wall_deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
@@ -127,29 +129,38 @@ class Simulator:
         """
         self._running = True
         self._stopped = False
+        # Hot loop: hoist queue methods into locals and replace the modulo
+        # wall-clock gate with a countdown, so the per-event cost when no
+        # deadline is armed is one integer decrement and compare.
+        peek_time = self._queue.peek_time
+        pop = self._queue.pop
+        check_every = self._WALL_CHECK_EVERY
+        countdown = check_every
+        wall_start = _time.perf_counter()
         try:
             while True:
-                next_time = self._queue.peek_time()
+                next_time = peek_time()
                 if next_time is None:
-                    if until is not None:
-                        self.now = max(self.now, until)
+                    if until is not None and until > self.now:
+                        self.now = until
                     break
                 if until is not None and next_time > until:
                     self.now = until
                     break
-                event = self._queue.pop()
-                assert event is not None
+                event = pop()
                 self.now = event.time
                 self.events_processed += 1
-                if (
-                    self._wall_deadline is not None
-                    and self.events_processed % self._WALL_CHECK_EVERY == 0
-                    and _time.monotonic() > self._wall_deadline
-                ):
-                    raise WallClockExceeded(
-                        f"wall-clock budget exhausted at t={self.now:.3f}s "
-                        f"({self.events_processed} events)"
-                    )
+                countdown -= 1
+                if countdown == 0:
+                    countdown = check_every
+                    if (
+                        self._wall_deadline is not None
+                        and _time.monotonic() > self._wall_deadline
+                    ):
+                        raise WallClockExceeded(
+                            f"wall-clock budget exhausted at t={self.now:.3f}s "
+                            f"({self.events_processed} events)"
+                        )
                 event._fire()
                 if self._stopped:
                     break
@@ -157,6 +168,7 @@ class Simulator:
             pass
         finally:
             self._running = False
+            self.wall_time_s += _time.perf_counter() - wall_start
         return self.now
 
     def step(self) -> bool:
@@ -178,11 +190,19 @@ class Simulator:
         """Number of live (non-cancelled, unfired) events in the queue."""
         return len(self._queue)
 
+    @property
+    def events_per_second(self) -> float:
+        """Observed kernel throughput: events processed per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_time_s
+
     def reset(self, seed: Optional[int] = None) -> None:
         """Clear the queue and clock for reuse; optionally reseed streams."""
         self._queue.clear()
         self.now = 0.0
         self.events_processed = 0
+        self.wall_time_s = 0.0
         self._stopped = False
         self._wall_deadline = None
         if seed is not None:

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         "budget are re-run serially",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions plus "
+        "per-subsystem perf counters (forces --workers 1 and --no-cache "
+        "so every cell is computed, and profiled, in this process)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="print per-run progress"
     )
     parser.add_argument(
@@ -132,19 +139,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         targets = [args.target]
     progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) if args.verbose else None
     seeds = tuple(range(1, args.seeds + 1))
-    for target in targets:
-        runner = _RUNNERS[target]
-        kwargs = _engine_kwargs(runner, args)
-        data = runner(seeds=seeds, quick=args.quick, progress=progress, **kwargs)
-        print(format_figure(data))
-        if args.chart:
-            from ..analysis.charts import figure_chart
+    profiler = None
+    if args.profile:
+        # Child processes would escape the profiler and the in-process perf
+        # accumulator, and cache hits would skip the work being measured.
+        args.workers = 1
+        args.no_cache = True
+        from ..perf import GLOBAL_PERF
 
-            print(figure_chart(data))
-        if args.csv:
-            path = write_csv(data, Path(args.csv) / f"{target}.csv")
-            print(f"  csv: {path}\n")
+        GLOBAL_PERF.reset()
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for target in targets:
+            runner = _RUNNERS[target]
+            kwargs = _engine_kwargs(runner, args)
+            data = runner(seeds=seeds, quick=args.quick, progress=progress, **kwargs)
+            print(format_figure(data))
+            if args.chart:
+                from ..analysis.charts import figure_chart
+
+                print(figure_chart(data))
+            if args.csv:
+                path = write_csv(data, Path(args.csv) / f"{target}.csv")
+                print(f"  csv: {path}\n")
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            _print_profile(profiler)
     return 0
+
+
+def _print_profile(profiler: "cProfile.Profile") -> None:
+    """Perf-counter summary plus the 25 hottest functions by cumulative time."""
+    import io
+    import pstats
+
+    from ..perf import GLOBAL_PERF
+
+    print("\n== perf counters " + "=" * 47)
+    for line in GLOBAL_PERF.summary_lines():
+        print(f"  {line}")
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(25)
+    print("== cProfile (top 25 by cumulative time) " + "=" * 24)
+    print(buffer.getvalue())
 
 
 if __name__ == "__main__":  # pragma: no cover

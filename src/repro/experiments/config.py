@@ -47,6 +47,10 @@ class ScenarioConfig:
     control_bits: int = 64
     side_m: float = 10_000.0
     mobility: bool = True
+    #: Route channel geometry through the epoch-invalidated link-state
+    #: cache.  Results are bit-identical either way (enforced by the
+    #: equivalence tests); disable only for A/B profiling.
+    link_cache: bool = True
     forwarding: bool = True
     queue_limit: int = 1000
     interference_range_factor: float = 2.0

@@ -27,6 +27,7 @@ from ..metrics.throughput import ThroughputReport, network_throughput
 from ..metrics.utilization import UtilizationReport, network_utilization
 from ..net.clock import NodeClock
 from ..net.node import Node
+from ..perf import GLOBAL_PERF, PerfReport
 from ..phy.channel import AcousticChannel
 from ..topology.deployment import DeploymentConfig, connected_column_deployment
 from ..topology.mobility import MobilityManager
@@ -51,6 +52,10 @@ class ScenarioResult:
     execution: Optional[ExecutionResult] = None
     extra_completed: int = 0
     offered_bits: int = 0
+    #: Counter snapshot for the perf layer.  Deliberately excluded from
+    #: :meth:`to_dict`: wall time is machine-dependent, and figure metrics
+    #: must stay bit-identical with the link cache on or off.
+    perf: Optional[PerfReport] = None
 
     @property
     def throughput_kbps(self) -> float:
@@ -112,6 +117,7 @@ class Scenario:
             bitrate_bps=config.bitrate_bps,
             max_range_m=config.comm_range_m,
             interference_range_factor=config.interference_range_factor,
+            use_link_cache=config.link_cache,
         )
         self.timing = make_slot_timing(
             bitrate_bps=config.bitrate_bps,
@@ -236,6 +242,8 @@ class Scenario:
             offered = self.traffic.stats.bits
         elif self.batch is not None:
             offered = self.batch.stats.bits
+        perf = PerfReport.capture(self.sim, self.channel.stats, duration_s)
+        GLOBAL_PERF.add(perf)
         return ScenarioResult(
             protocol=self.config.protocol,
             config=self.config,
@@ -250,6 +258,7 @@ class Scenario:
             mean_delay_s=mean_delivery_delay_s(self.nodes),
             extra_completed=extra,
             offered_bits=offered,
+            perf=perf,
         )
 
 

@@ -73,15 +73,37 @@ class Node:
     ) -> None:
         self.sim = sim
         self.node_id = node_id
-        self.position = position
+        self._position = position
+        self._channel = channel
         self.is_sink = is_sink
         self.queue_limit = queue_limit
         self.clock = clock if clock is not None else NodeClock(sim)
         self.neighbors = NeighborTable(node_id, smoothing=neighbor_smoothing)
         self.queue: Deque[DataRequest] = deque()
         self.app_stats = AppStats()
-        self.modem: AcousticModem = channel.create_modem(node_id, lambda: self.position)
+        self.modem: AcousticModem = channel.create_modem(node_id, lambda: self._position)
         self.mac = None  # attached by the MAC layer
+
+    # ------------------------------------------------------------------
+    # Position (movement invalidates the channel's link-state cache)
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Position:
+        return self._position
+
+    @position.setter
+    def position(self, value: Position) -> None:
+        """Move the node, bumping the channel's position epoch.
+
+        Every movement path (mobility models, tests poking positions)
+        funnels through this setter, so cached pairwise link state can
+        never go stale.  Assigning an equal position — e.g. a static-model
+        step re-clamped to the same point — is not a move and keeps the
+        cache warm.
+        """
+        if value != self._position:
+            self._position = value
+            self._channel.note_position_change()
 
     # ------------------------------------------------------------------
     # Application-side interface

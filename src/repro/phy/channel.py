@@ -27,6 +27,7 @@ from ..acoustic.sinr import LinkBudget
 from ..des.events import PRIORITY_HIGH
 from ..des.simulator import Simulator
 from .frame import Frame
+from .linkcache import LinkStateCache
 from .modem import AcousticModem, Arrival
 
 #: Paper Table 2 defaults.
@@ -36,11 +37,24 @@ DEFAULT_RANGE_M = 1500.0
 
 @dataclass
 class ChannelStats:
-    """Aggregate channel counters."""
+    """Aggregate channel counters.
+
+    ``cache_hits`` / ``cache_misses`` count link-state cache lookups (both
+    stay 0 when the cache is disabled); their ratio is the headline number
+    of the perf instrumentation layer.
+    """
 
     broadcasts: int = 0
     deliveries: int = 0
     out_of_range_skips: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of link-state lookups served from cache (0 if none)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
 
 class AcousticChannel:
@@ -55,6 +69,9 @@ class AcousticChannel:
         per_model: Packet error model (defaults to NS-3-style threshold).
         interference_range_factor: Deliver (as interference) up to
             ``factor * max_range_m``; 1.0 reproduces the paper's model.
+        use_link_cache: Route geometry queries through the epoch-invalidated
+            :class:`LinkStateCache` (bit-identical results either way; the
+            flag exists for the equivalence tests and A/B profiling).
     """
 
     def __init__(
@@ -67,6 +84,7 @@ class AcousticChannel:
         per_model: Optional[PerModel] = None,
         interference_range_factor: float = 1.0,
         fading: Optional[FadingProcess] = None,
+        use_link_cache: bool = True,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError("bitrate must be positive")
@@ -92,9 +110,22 @@ class AcousticChannel:
         self.per_model = per_model
         self.interference_range_factor = interference_range_factor
         self.fading = fading if fading is not None else NoFading()
+        # NoFading contributes exactly 0 dB; skipping the call entirely
+        # keeps the broadcast loop free of a per-receiver virtual dispatch.
+        self._fading_active = not isinstance(self.fading, NoFading)
         self.per_rng = sim.streams.get("channel.per")
         self.stats = ChannelStats()
         self._members: Dict[int, Tuple[AcousticModem, Callable[[], Position]]] = {}
+        self.link_cache: Optional[LinkStateCache] = None
+        if use_link_cache:
+            self.link_cache = LinkStateCache(
+                self._members,
+                self.propagation,
+                self.link_budget,
+                self.max_range_m,
+                self.max_range_m * self.interference_range_factor,
+                self.stats,
+            )
 
     # ------------------------------------------------------------------
     def create_modem(self, node_id: int, position_fn: Callable[[], Position]) -> AcousticModem:
@@ -103,7 +134,17 @@ class AcousticChannel:
             raise ValueError(f"node id {node_id} already registered")
         modem = AcousticModem(self.sim, node_id, self)
         self._members[node_id] = (modem, position_fn)
+        self.note_position_change()
         return modem
+
+    def note_position_change(self) -> None:
+        """Invalidate cached link state (a node moved or was registered).
+
+        Cheap (one integer bump) and idempotent within an epoch's lazy
+        rebuild, so callers may invoke it once per moved node.
+        """
+        if self.link_cache is not None:
+            self.link_cache.invalidate()
 
     def position_of(self, node_id: int) -> Position:
         """Current position of a registered node."""
@@ -118,16 +159,29 @@ class AcousticChannel:
 
     def distance_m(self, a: int, b: int) -> float:
         """Current geometric distance between two registered nodes."""
+        if self.link_cache is not None:
+            return self.link_cache.link(a, b).distance_m
         return self.position_of(a).distance_to(self.position_of(b))
 
     def propagation_delay_s(self, a: int, b: int) -> float:
         """Ground-truth propagation delay between two registered nodes."""
+        if self.link_cache is not None:
+            return self.link_cache.link(a, b).delay_s
         return self.propagation.delay_s(
             self.position_of(a), self.position_of(b), pair=(a, b)
         )
 
     def neighbors_of(self, node_id: int) -> Tuple[int, ...]:
         """Ground-truth one-hop neighbours (in decode range, alive) now."""
+        if self.link_cache is not None:
+            # Geometry comes from the cache; liveness is read fresh so
+            # failure injection is reflected without an epoch bump.
+            members = self._members
+            return tuple(
+                other
+                for other in self.link_cache.in_range_ids(node_id)
+                if members[other][0].enabled
+            )
         origin = self.position_of(node_id)
         return tuple(
             other
@@ -141,25 +195,55 @@ class AcousticChannel:
     def broadcast(self, tx_modem: AcousticModem, frame: Frame, duration_s: float) -> None:
         """Deliver ``frame`` to every modem in range, after propagation."""
         self.stats.broadcasts += 1
-        tx_pos = self.position_of(tx_modem.node_id)
+        tx_id = tx_modem.node_id
+        now = self.sim.now
+        cache = self.link_cache
+        if cache is not None:
+            stats = self.stats
+            schedule = self.sim.schedule
+            for node_id, (modem, _pos_fn) in self._members.items():
+                if node_id == tx_id:
+                    continue
+                link = cache.link(tx_id, node_id)
+                if not link.in_reach:
+                    stats.out_of_range_skips += 1
+                    continue
+                delay = link.delay_s
+                level = link.level_db
+                if self._fading_active:
+                    level += self.fading.fade_db((tx_id, node_id), now)
+                arrival = Arrival(
+                    frame=frame,
+                    src=tx_id,
+                    start=now + delay,
+                    end=now + delay + duration_s,
+                    level_db=level,
+                    delay_s=delay,
+                )
+                stats.deliveries += 1
+                # High priority so arrivals register before same-instant MAC logic.
+                schedule(delay, modem.begin_arrival, arrival, priority=PRIORITY_HIGH)
+            return
+        tx_pos = self.position_of(tx_id)
         reach = self.max_range_m * self.interference_range_factor
         for node_id, (modem, pos_fn) in self._members.items():
-            if node_id == tx_modem.node_id:
+            if node_id == tx_id:
                 continue
             rx_pos = pos_fn()
             distance = tx_pos.distance_to(rx_pos)
             if distance > reach:
                 self.stats.out_of_range_skips += 1
                 continue
-            pair = (tx_modem.node_id, node_id)
+            pair = (tx_id, node_id)
             delay = self.propagation.delay_s(tx_pos, rx_pos, pair=pair)
             level = self.link_budget.received_level_db(distance)
-            level += self.fading.fade_db(pair, self.sim.now)
+            if self._fading_active:
+                level += self.fading.fade_db(pair, now)
             arrival = Arrival(
                 frame=frame,
-                src=tx_modem.node_id,
-                start=self.sim.now + delay,
-                end=self.sim.now + delay + duration_s,
+                src=tx_id,
+                start=now + delay,
+                end=now + delay + duration_s,
                 level_db=level,
                 delay_s=delay,
             )

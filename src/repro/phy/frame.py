@@ -15,7 +15,6 @@ can schedule around the exchange.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Optional
 
@@ -62,9 +61,14 @@ class FrameType(Enum):
         return self in (FrameType.EXR, FrameType.EXC, FrameType.EXDATA, FrameType.EXACK)
 
 
-@dataclass
 class Frame:
     """One over-the-air frame.
+
+    A plain ``__slots__`` class rather than a dataclass: frames are created
+    for every handshake step and copied on retry, and the slotted layout
+    keeps allocation and field access on the broadcast/decode hot path
+    cheap (``slots=True`` dataclasses need Python >= 3.10, below this
+    repo's floor).
 
     Attributes:
         ftype: Frame kind.
@@ -81,14 +85,43 @@ class Frame:
         uid: Unique frame id for tracing and dedup.
     """
 
-    ftype: FrameType
-    src: int
-    dst: int
-    size_bits: int = CONTROL_PACKET_BITS
-    timestamp: float = 0.0
-    pair_delay_s: Optional[float] = None
-    info: Dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_uid_counter))
+    __slots__ = (
+        "ftype",
+        "src",
+        "dst",
+        "size_bits",
+        "timestamp",
+        "pair_delay_s",
+        "info",
+        "uid",
+    )
+
+    def __init__(
+        self,
+        ftype: FrameType,
+        src: int,
+        dst: int,
+        size_bits: int = CONTROL_PACKET_BITS,
+        timestamp: float = 0.0,
+        pair_delay_s: Optional[float] = None,
+        info: Optional[Dict[str, Any]] = None,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.ftype = ftype
+        self.src = src
+        self.dst = dst
+        self.size_bits = size_bits
+        self.timestamp = timestamp
+        self.pair_delay_s = pair_delay_s
+        self.info = {} if info is None else info
+        self.uid = next(_uid_counter) if uid is None else uid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Frame(ftype={self.ftype!r}, src={self.src!r}, dst={self.dst!r}, "
+            f"size_bits={self.size_bits!r}, timestamp={self.timestamp!r}, "
+            f"pair_delay_s={self.pair_delay_s!r}, info={self.info!r}, uid={self.uid!r})"
+        )
 
     def duration_s(self, bitrate_bps: float) -> float:
         """On-air duration at the given channel bitrate."""

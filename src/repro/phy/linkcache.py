@@ -1,0 +1,169 @@
+"""Epoch-invalidated cache of pairwise link state.
+
+Every MAC handshake (RTS/CTS/Data/Ack plus EW-MAC's EXR/EXC/EXData/EXAck)
+triggers an :class:`~repro.phy.channel.AcousticChannel.broadcast` that
+needs, per receiver, the pair's distance, propagation delay and received
+level — and depth routing asks for neighbour sets per packet.  All of that
+is pure geometry: it only changes when a node actually moves.  Table 2
+deployments are static between mobility ticks (and entirely static with
+``mobility=False``), so the channel recomputed identical ``sqrt`` /
+``log10`` chains tens of thousands of times per 300 s cell.
+
+:class:`LinkStateCache` memoizes the full link state per *ordered* node
+pair, lazily, and invalidates on a **position epoch** counter:
+
+* :meth:`~repro.net.node.Node`'s position setter bumps the epoch whenever
+  a node's position actually changes (the
+  :class:`~repro.topology.mobility.MobilityManager` routes every movement
+  through it), so static deployments compute each pair exactly once;
+* registering a new modem also bumps the epoch, so topology growth is
+  reflected immediately, matching the uncached semantics.
+
+Ordered (rather than unordered) pair keys keep results bit-identical with
+the uncached path: :meth:`PropagationModel.delay_s` receives ``pair=(a, b)``
+in exactly the order the uncached code passed it.
+
+Liveness (``modem.enabled``) is deliberately *not* part of the cached
+state: failure injection flips it without moving anyone, so neighbour
+queries filter on it at read time instead of invalidating geometry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, TYPE_CHECKING
+
+from ..acoustic.geometry import Position
+from ..acoustic.sinr import LinkBudget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..acoustic.propagation import PropagationModel
+    from .channel import ChannelStats
+    from .modem import AcousticModem
+
+
+class LinkState:
+    """Cached geometry-derived state of one directed link.
+
+    Attributes:
+        distance_m: Euclidean distance between the pair.
+        delay_s: Propagation delay (tx -> rx), from the channel's model.
+        level_db: Received level at the rx from the link budget (before
+            any time-varying fading).
+        in_reach: Within delivery reach (decode range x interference
+            factor): the frame's energy arrives at all.
+        in_decode_range: Within the hard communication range (Table 2:
+            1.5 km): the rx counts as a one-hop neighbour.
+    """
+
+    __slots__ = ("distance_m", "delay_s", "level_db", "in_reach", "in_decode_range")
+
+    def __init__(
+        self,
+        distance_m: float,
+        delay_s: float,
+        level_db: float,
+        in_reach: bool,
+        in_decode_range: bool,
+    ) -> None:
+        self.distance_m = distance_m
+        self.delay_s = delay_s
+        self.level_db = level_db
+        self.in_reach = in_reach
+        self.in_decode_range = in_decode_range
+
+
+class LinkStateCache:
+    """Lazy per-pair link state, invalidated by a position epoch counter.
+
+    The cache shares the channel's live member registry (``node_id ->
+    (modem, position_fn)``), so late modem registrations are visible; the
+    channel bumps :attr:`epoch` via :meth:`invalidate` whenever positions
+    or membership change.  Hits and misses are counted into the owning
+    channel's :class:`~repro.phy.channel.ChannelStats` for the perf layer.
+    """
+
+    __slots__ = (
+        "_members",
+        "_propagation",
+        "_link_budget",
+        "_max_range_m",
+        "_reach_m",
+        "_stats",
+        "epoch",
+        "_cache_epoch",
+        "_links",
+        "_in_range",
+    )
+
+    def __init__(
+        self,
+        members: Dict[int, Tuple["AcousticModem", Callable[[], Position]]],
+        propagation: "PropagationModel",
+        link_budget: LinkBudget,
+        max_range_m: float,
+        reach_m: float,
+        stats: "ChannelStats",
+    ) -> None:
+        self._members = members
+        self._propagation = propagation
+        self._link_budget = link_budget
+        self._max_range_m = max_range_m
+        self._reach_m = reach_m
+        self._stats = stats
+        #: Bumped by the channel on movement/registration; compared against
+        #: the epoch the cached entries were computed under.
+        self.epoch = 0
+        self._cache_epoch = 0
+        self._links: Dict[Tuple[int, int], LinkState] = {}
+        self._in_range: Dict[int, Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Note that some position (or the member set) changed."""
+        self.epoch += 1
+
+    def _sync(self) -> None:
+        if self._cache_epoch != self.epoch:
+            self._links.clear()
+            self._in_range.clear()
+            self._cache_epoch = self.epoch
+
+    # ------------------------------------------------------------------
+    def link(self, tx: int, rx: int) -> LinkState:
+        """Link state for the directed pair, computed at most once per epoch."""
+        self._sync()
+        key = (tx, rx)
+        state = self._links.get(key)
+        if state is None:
+            self._stats.cache_misses += 1
+            members = self._members
+            tx_pos = members[tx][1]()
+            rx_pos = members[rx][1]()
+            distance = tx_pos.distance_to(rx_pos)
+            state = LinkState(
+                distance,
+                self._propagation.delay_s(tx_pos, rx_pos, pair=key),
+                self._link_budget.received_level_db(distance),
+                distance <= self._reach_m,
+                distance <= self._max_range_m,
+            )
+            self._links[key] = state
+        else:
+            self._stats.cache_hits += 1
+        return state
+
+    def in_range_ids(self, node_id: int) -> Tuple[int, ...]:
+        """Ids inside decode range of ``node_id`` (liveness *not* applied).
+
+        Preserves the member-registration order the uncached scan produced.
+        """
+        self._sync()
+        ids = self._in_range.get(node_id)
+        if ids is None:
+            ids = tuple(
+                other
+                for other in self._members
+                if other != node_id and self.link(node_id, other).in_decode_range
+            )
+            self._in_range[node_id] = ids
+        return ids

@@ -40,6 +40,11 @@ class RxOutcome(Enum):
 class Arrival:
     """One signal arriving at a modem.
 
+    A broadcast fans one Arrival out per in-range receiver, so these are
+    the most-allocated objects in a simulation after events; ``__slots__``
+    (declared manually for Python 3.9 compatibility) keeps them small and
+    their field reads cheap in the overlap scans.
+
     Attributes:
         frame: The frame carried by the signal.
         src: Transmitting node id.
@@ -48,6 +53,8 @@ class Arrival:
         level_db: Received signal level at this modem.
         delay_s: One-way propagation delay the signal experienced.
     """
+
+    __slots__ = ("frame", "src", "start", "end", "level_db", "delay_s")
 
     frame: Frame
     src: int
@@ -82,6 +89,8 @@ class ModemStats:
 
 @dataclass
 class _TxInterval:
+    __slots__ = ("start", "end")
+
     start: float
     end: float
 
@@ -93,10 +102,6 @@ class AcousticModem:
     frame and its :class:`Arrival`) and optionally :attr:`on_rx_failure`
     (called with failed arrivals, used by tests and collision metrics).
     """
-
-    #: How long past their end tx/arrival intervals are retained for overlap
-    #: checks, in seconds.  Must exceed the longest possible frame duration.
-    _PRUNE_HORIZON_S = 30.0
 
     def __init__(self, sim: Simulator, node_id: int, channel: "AcousticChannel") -> None:
         self.sim = sim
@@ -110,6 +115,14 @@ class AcousticModem:
         self._tx_intervals: List[_TxInterval] = []
         self._arrivals: List[Arrival] = []
         self._rx_busy_until = 0.0
+        self._last_tx_end = 0.0
+        # Longest on-air duration seen (tx or rx).  Anything that ended more
+        # than this long ago cannot overlap an arrival still in flight — an
+        # in-flight arrival started at most one duration before now — so it
+        # is the exact retention horizon for the overlap scans.  Keeping the
+        # interval lists this tight turns _decode_outcome's interferer scan
+        # from O(arrivals within 30 s) into O(arrivals within one frame).
+        self._max_duration_s = 0.0
 
     # ------------------------------------------------------------------
     # Transmit path
@@ -122,9 +135,7 @@ class AcousticModem:
 
     def tx_end_time(self) -> float:
         """End time of the latest transmission (or 0.0 if none yet)."""
-        if not self._tx_intervals:
-            return 0.0
-        return max(iv.end for iv in self._tx_intervals)
+        return self._last_tx_end
 
     def transmit(self, frame: Frame) -> float:
         """Send ``frame`` now; returns its on-air duration.
@@ -143,6 +154,9 @@ class AcousticModem:
         duration = frame.duration_s(self.channel.bitrate_bps)
         frame.timestamp = self.sim.now
         self._tx_intervals.append(_TxInterval(self.sim.now, self.sim.now + duration))
+        self._last_tx_end = self.sim.now + duration
+        if duration > self._max_duration_s:
+            self._max_duration_s = duration
         self._prune(self._tx_intervals)
         self.stats.tx_frames += 1
         self.stats.tx_bits += frame.size_bits
@@ -161,6 +175,9 @@ class AcousticModem:
         if not self.enabled:
             return
         self._arrivals.append(arrival)
+        duration = arrival.end - arrival.start
+        if duration > self._max_duration_s:
+            self._max_duration_s = duration
         # Accumulate receiver-busy time as interval union (overlaps counted once).
         busy_from = max(arrival.start, self._rx_busy_until)
         if arrival.end > busy_from:
@@ -221,11 +238,11 @@ class AcousticModem:
     # Housekeeping
     # ------------------------------------------------------------------
     def _prune(self, intervals: List[_TxInterval]) -> None:
-        horizon = self.sim.now - self._PRUNE_HORIZON_S
+        horizon = self.sim.now - self._max_duration_s
         if intervals and intervals[0].end < horizon:
             intervals[:] = [iv for iv in intervals if iv.end >= horizon]
 
     def _prune_arrivals(self) -> None:
-        horizon = self.sim.now - self._PRUNE_HORIZON_S
+        horizon = self.sim.now - self._max_duration_s
         if self._arrivals and self._arrivals[0].end < horizon:
             self._arrivals = [a for a in self._arrivals if a.end >= horizon]

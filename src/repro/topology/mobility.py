@@ -165,12 +165,22 @@ class MobilityManager:
         self._timer = self.sim.schedule(self.update_period_s, self._tick)
 
     def step(self, dt: float) -> None:
-        """Advance every node once by ``dt`` (public for tests)."""
+        """Advance every node once by ``dt`` (public for tests).
+
+        Each assignment to ``node.position`` routes through the node's
+        setter, which bumps the owning channel's position epoch and so
+        invalidates its link-state cache — moved nodes are reflected in
+        the very next geometry query.  Static-model nodes are skipped
+        outright: they cannot move, and not touching their positions keeps
+        an all-static deployment's cache warm across ticks.
+        """
         x_range = (0.0, self.config.side_x_m)
         y_range = (0.0, self.config.side_y_m)
         z_range = (0.0, self.config.depth_m)
         for node in self.nodes:
             model = self._models[node.node_id]
+            if type(model) is StaticModel:
+                continue
             new_pos = model.step(node.position, dt).clamped(x_range, y_range, z_range)
             anchor = self._anchors[node.node_id]
             if self.tether_m is not None and new_pos.distance_to(anchor) > self.tether_m:

@@ -1,0 +1,75 @@
+"""Link-state cache equivalence: cached and uncached runs are bit-identical.
+
+The cache is a pure memoization layer, so every figure metric must come out
+*exactly* equal — not approximately — with ``link_cache`` on or off.  Runs
+with mobility enabled exercise epoch invalidation on every position-update
+tick; the static run exercises the compute-each-pair-exactly-once path.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import table2_config
+from repro.experiments.scenario import run_batch_scenario, run_scenario
+
+
+def _flat(result):
+    """Canonical JSON of every figure metric (raises on non-serialisable)."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def _pair(config):
+    cached = run_scenario(config.with_(link_cache=True))
+    uncached = run_scenario(config.with_(link_cache=False))
+    return cached, uncached
+
+
+class TestSteadyStateEquivalence:
+    @pytest.mark.parametrize("protocol", ["EW-MAC", "S-FAMA", "ROPA", "CS-MAC"])
+    def test_mobile_scenario_identical(self, protocol):
+        # Mobility forces an epoch bump every update period; identical
+        # results prove invalidation never serves stale geometry.
+        config = table2_config(
+            protocol=protocol,
+            sim_time_s=40.0,
+            offered_load_kbps=0.8,
+            seed=11,
+            mobility=True,
+        )
+        cached, uncached = _pair(config)
+        assert _flat(cached) == _flat(uncached)
+
+    def test_static_scenario_identical(self):
+        config = table2_config(sim_time_s=40.0, seed=12, mobility=False)
+        cached, uncached = _pair(config)
+        assert _flat(cached) == _flat(uncached)
+        # Static deployments compute each queried pair exactly once.
+        perf = cached.perf
+        assert perf.cache_hits > 0
+        n = config.n_sensors + 1
+        assert perf.cache_misses <= n * (n - 1)
+
+    def test_mobility_run_actually_invalidates(self):
+        config = table2_config(sim_time_s=40.0, seed=13, mobility=True)
+        mobile = run_scenario(config)
+        static = run_scenario(config.with_(mobility=False))
+        n = config.n_sensors + 1
+        # With epoch bumps every mobility tick the cache recomputes pairs;
+        # without them it cannot exceed the one-shot pair budget.
+        assert mobile.perf.cache_misses > n * (n - 1)
+        assert static.perf.cache_misses <= n * (n - 1)
+
+
+class TestBatchEquivalence:
+    def test_batch_drain_identical(self):
+        config = table2_config(
+            sim_time_s=40.0, seed=7, offered_load_kbps=0.4, max_retries=100
+        )
+        cached = run_batch_scenario(
+            config.with_(link_cache=True), n_packets=6, max_time_s=1200.0
+        )
+        uncached = run_batch_scenario(
+            config.with_(link_cache=False), n_packets=6, max_time_s=1200.0
+        )
+        assert _flat(cached) == _flat(uncached)
