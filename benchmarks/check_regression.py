@@ -12,7 +12,12 @@ Compares each benchmark's mean wall time in ``CURRENT.json`` (a
 more than ``--threshold`` (default 25%).  A missing baseline file, or a
 benchmark absent from the baseline, is reported and *skipped* rather than
 failed, so the gate cannot block the PR that introduces a new benchmark —
-commit a refreshed baseline to arm it.
+commit a refreshed baseline to arm it.  The reverse direction is a
+failure: a baseline benchmark **missing from the candidate** export means
+a benchmark silently stopped running (deleted, renamed, or collected
+away), and the gate reports it with a clear FAIL instead of pretending
+the suite still passes.  Malformed entries in either export are skipped
+with a warning rather than crashing the gate with a KeyError.
 
 Baselines are machine-dependent: refresh the committed file from the CI
 runner class it gates (see docs/reproduction_guide.md, "Performance").
@@ -32,10 +37,14 @@ DEFAULT_THRESHOLD = 0.25
 def load_means(path: Path) -> Dict[str, float]:
     """Benchmark name -> mean seconds from a pytest-benchmark JSON export."""
     data = json.loads(path.read_text())
-    return {
-        bench["fullname"]: float(bench["stats"]["mean"])
-        for bench in data.get("benchmarks", [])
-    }
+    means: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        try:
+            means[bench["fullname"]] = float(bench["stats"]["mean"])
+        except (KeyError, TypeError, ValueError):
+            label = bench.get("fullname", "<unnamed>") if isinstance(bench, dict) else bench
+            print(f"SKIP  {label}: malformed benchmark entry in {path}")
+    return means
 
 
 def compare(
@@ -43,6 +52,13 @@ def compare(
 ) -> int:
     """Print a verdict per benchmark; return the number of regressions."""
     regressions = 0
+    missing = sorted(name for name in baseline if name not in current)
+    for name in missing:
+        print(
+            f"FAIL  {name}: present in baseline but missing from the "
+            "candidate export (benchmark deleted or not collected?)"
+        )
+    regressions += len(missing)
     for name, mean in sorted(current.items()):
         base = baseline.get(name)
         if base is None:
@@ -91,7 +107,8 @@ def main(argv=None) -> int:
     if regressions:
         print(
             f"\n{regressions} benchmark(s) regressed more than "
-            f"{args.threshold:.0%}; if intentional, refresh the baseline."
+            f"{args.threshold:.0%} or went missing; if intentional, "
+            "refresh the baseline."
         )
         return 1
     print("\nno benchmark regressed beyond the threshold")

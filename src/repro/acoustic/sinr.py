@@ -86,11 +86,21 @@ class LinkBudget:
         return linear_to_db(signal / (noise + interference))
 
     def sinr_db_from_levels(
-        self, signal_level_db: float, interferer_levels_db: Iterable[float]
+        self,
+        signal_level_db: float,
+        interferer_levels_db: Iterable[float],
+        extra_noise_db: float = 0.0,
     ) -> float:
-        """SINR when received levels (dB) are already known."""
+        """SINR when received levels (dB) are already known.
+
+        ``extra_noise_db`` raises the ambient noise floor by that many dB
+        (transient impairment bursts from fault injection); 0.0 — the
+        clean-run value — takes the exact pre-existing arithmetic path.
+        """
         signal = db_to_linear(signal_level_db)
         noise = self.noise_power_linear()
+        if extra_noise_db:
+            noise *= db_to_linear(extra_noise_db)
         interference = sum(db_to_linear(level) for level in interferer_levels_db)
         return linear_to_db(signal / (noise + interference))
 

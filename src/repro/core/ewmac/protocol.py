@@ -563,6 +563,8 @@ class EwMac(SlottedMac):
         self._send_exack(frame.src)
 
     def _send_exack(self, dst: int) -> None:
+        if not self.node.modem.enabled:
+            return  # died between the EXData and this (possibly rescheduled) reply
         if self.node.modem.transmitting:
             self.sim.schedule(self.timing.omega_s, self._send_exack, dst)
             return
@@ -654,3 +656,46 @@ class EwMac(SlottedMac):
                     self.sim.cancel(event)
         if self._asked is not None:
             self.sim.cancel(self._asked.expiry_event)
+
+    def _reset_protocol_state(self) -> None:  # noqa: D102 - crash/reboot wipe
+        super()._reset_protocol_state()
+        context = self._asking
+        if context is not None:
+            for event in (
+                context.exr_event,
+                context.exc_timeout,
+                context.exack_timeout,
+                context.exdata_event,
+            ):
+                self.sim.cancel(event)
+        self._asking = None
+        if self._asked is not None:
+            self.sim.cancel(self._asked.expiry_event)
+        self._asked = None
+        self._cts_slot = None
+        # A reboot restarts the Fig. 3 machine from Idle.
+        self.fig3 = Fig3StateMachine(strict=False)
+
+    def _audit_protocol_state(self, violations: List[str]) -> None:
+        prefix = f"{self.name} node {self.node.node_id}"
+        if self.state is MacState.EXTRA and self._asking is None:
+            violations.append(f"{prefix}: EXTRA state without an asking context")
+        context = self._asking
+        if context is not None and not any(
+            event is not None and event.pending
+            for event in (
+                context.exr_event,
+                context.exc_timeout,
+                context.exack_timeout,
+                context.exdata_event,
+            )
+        ):
+            violations.append(
+                f"{prefix}: asking context (target {context.target}) with no live event"
+            )
+        if self._asked is not None and not (
+            self._asked.expiry_event is not None and self._asked.expiry_event.pending
+        ):
+            violations.append(
+                f"{prefix}: asked context (peer {self._asked.peer}) with no live expiry"
+            )

@@ -1,9 +1,11 @@
 """Experiment harness: Table 2 configs, scenarios, sweeps, figure runners."""
 
+from ..faults import FaultPlan, FaultReport
 from .cache import ResultCache, cell_key, code_version
+from .chaos import CHAOS_PROTOCOLS, ChaosSummary, chaos, chaos_plan
 from .config import TABLE2, ScenarioConfig, table2_config
 from .figures import ALL_FIGURES, PAPER_EXPECTATIONS, FigureData
-from .parallel import ParallelSweepRunner, SweepCell, expand_cells
+from .parallel import CellFailure, ParallelSweepRunner, SweepCell, expand_cells
 from .report import format_figure, write_csv
 from .ablations import ALL_ABLATIONS
 from .scenario import Scenario, ScenarioResult, run_batch_scenario, run_scenario
@@ -18,7 +20,14 @@ from .timeline import (
 __all__ = [
     "ALL_ABLATIONS",
     "ALL_FIGURES",
+    "CHAOS_PROTOCOLS",
+    "CellFailure",
+    "ChaosSummary",
+    "FaultPlan",
+    "FaultReport",
     "FigureData",
+    "chaos",
+    "chaos_plan",
     "TimelineEntry",
     "extra_exploitation_summary",
     "extract_timeline",

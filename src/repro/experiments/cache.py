@@ -30,7 +30,9 @@ from .config import ScenarioConfig
 from .scenario import ScenarioResult
 
 #: Bump to invalidate every existing cache entry (entry format changes).
-CACHE_FORMAT = 1
+#: 2: ScenarioConfig grew clock_drift_ppm_std + faults (FaultPlan), and
+#: ScenarioResult grew the faults report.
+CACHE_FORMAT = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -31,10 +31,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_RUNNERS) + ["all", "ablations", "table2", "report"],
+        choices=sorted(_RUNNERS) + ["all", "ablations", "chaos", "table2", "report"],
         help="figure or ablation to regenerate ('all' = paper figures, "
-        "'ablations' = every ablation, 'report' = rebuild EXPERIMENTS.md "
-        "from the --csv directory)",
+        "'ablations' = every ablation, 'chaos' = seeded fault-injection "
+        "robustness sweep, 'report' = rebuild EXPERIMENTS.md from the "
+        "--csv directory)",
     )
     parser.add_argument(
         "--out",
@@ -131,14 +132,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         Path(args.out).write_text(text)
         print(f"wrote {args.out}")
         return 0
+    progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) if args.verbose else None
+    seeds = tuple(range(1, args.seeds + 1))
+    if args.target == "chaos":
+        from .chaos import chaos
+
+        kwargs = _engine_kwargs(chaos, args)
+        data, summary = chaos(
+            seeds=seeds, quick=args.quick, progress=progress, **kwargs
+        )
+        print(format_figure(data))
+        for line in summary.lines():
+            print(f"  {line}")
+        if args.csv:
+            path = write_csv(data, Path(args.csv) / "chaos.csv")
+            print(f"  csv: {path}")
+        if summary.wedged_handshakes > 0:
+            print(
+                f"FAIL: {summary.wedged_handshakes} wedged handshake(s) "
+                "survived the post-run audit",
+                file=sys.stderr,
+            )
+            return 1
+        if summary.faulted_cells > 0 and summary.recoveries == 0:
+            print(
+                "FAIL: faulted cells ran but no node ever recovered — "
+                "the recovery path is not being exercised",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     if args.target == "all":
         targets = sorted(ALL_FIGURES)
     elif args.target == "ablations":
         targets = sorted(ALL_ABLATIONS)
     else:
         targets = [args.target]
-    progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) if args.verbose else None
-    seeds = tuple(range(1, args.seeds + 1))
     profiler = None
     if args.profile:
         # Child processes would escape the profiler and the in-process perf

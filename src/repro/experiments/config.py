@@ -7,8 +7,10 @@ sweep override its own axis (offered load, node count, packet size, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
+
+from ..faults.plan import FaultPlan
 
 #: Paper Table 2, verbatim.
 TABLE2: Dict[str, object] = {
@@ -56,6 +58,13 @@ class ScenarioConfig:
     interference_range_factor: float = 2.0
     max_retries: Optional[int] = None  # None = protocol default
     clock_offset_std_s: float = 0.0  # paper assumes perfect sync (= 0)
+    #: Std-dev of the per-node clock drift rate (ppm).  0 keeps every
+    #: clock drift-free; nonzero draws one rate per node from the same
+    #: seeded "clocks" stream the offsets use, so runs stay reproducible.
+    clock_drift_ppm_std: float = 0.0
+    #: Declarative fault-injection plan.  The default (empty) plan arms
+    #: nothing at all: no events, no RNG streams, bit-identical results.
+    faults: FaultPlan = field(default_factory=FaultPlan)
     trace: bool = False
 
     def __post_init__(self) -> None:

@@ -32,6 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -46,6 +47,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from .sweeps import GridResults, SweepSpec
 
 Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that could not produce a result even after the serial retry.
+
+    The sweep keeps going: the failed cell's slot stays ``None`` in the
+    ordered result list and its grid entry stays an empty list, so
+    aggregation sees "no samples" rather than an exception.
+    """
+
+    cell: "SweepCell"
+    error: str
+    traceback: str = ""
 
 
 @dataclass(frozen=True)
@@ -147,6 +162,10 @@ class ParallelSweepRunner:
         #: Cells whose first (pooled) attempt timed out or crashed and
         #: which were re-run serially — observability for tests and CLIs.
         self.requeued: List[SweepCell] = []
+        #: Cells that failed even on the serial retry.  A failure marks
+        #: its cell as lost (empty grid entry) instead of aborting the
+        #: whole sweep, and is reported through ``progress``.
+        self.failures: List[CellFailure] = []
 
     # ------------------------------------------------------------------
     def _emit(self, message: str) -> None:
@@ -165,12 +184,22 @@ class ParallelSweepRunner:
         results = self.run_cells(cells)
         grid: Dict[Tuple[float, str], List[ScenarioResult]] = {}
         for cell, result in zip(cells, results):
-            grid.setdefault((cell.x, cell.protocol), []).append(result)
+            # Every (x, protocol) pair gets its grid entry even when all
+            # its cells failed, so aggregation can never KeyError — a lost
+            # cell shows up as a missing sample, not a crashed sweep.
+            bucket = grid.setdefault((cell.x, cell.protocol), [])
+            if result is not None:
+                bucket.append(result)
         return grid
 
-    def run_cells(self, cells: Sequence[SweepCell]) -> List[ScenarioResult]:
-        """Execute cells (cache, pool, recovery) and return them in order."""
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[Optional[ScenarioResult]]:
+        """Execute cells (cache, pool, recovery) and return them in order.
+
+        Slots of cells that failed permanently (recorded in
+        :attr:`failures`) are ``None``.
+        """
         self.requeued = []
+        self.failures = []
         results: List[Optional[ScenarioResult]] = [None] * len(cells)
         keys: Dict[int, str] = {}
         pending: List[SweepCell] = []
@@ -196,10 +225,22 @@ class ParallelSweepRunner:
                     self.requeued = sorted(retry, key=lambda c: c.index)
                     self._run_serial(self.requeued, results, keys)
 
-        missing = [cell.label for cell in cells if results[cell.index] is None]
-        if missing:  # pragma: no cover - defensive; recovery should fill all
-            raise RuntimeError(f"sweep cells never completed: {missing}")
-        return results  # type: ignore[return-value]
+        failed_indices = {failure.cell.index for failure in self.failures}
+        missing = [
+            cell
+            for cell in cells
+            if results[cell.index] is None and cell.index not in failed_indices
+        ]
+        for cell in missing:  # pragma: no cover - defensive; recovery fills all
+            self.failures.append(
+                CellFailure(cell=cell, error="cell never completed (pool lost it)")
+            )
+        if self.failures:
+            labels = ", ".join(f.cell.label for f in self.failures)
+            self._emit(
+                f"sweep finished with {len(self.failures)} failed cell(s): {labels}"
+            )
+        return results
 
     # ------------------------------------------------------------------
     def _finish(
@@ -225,11 +266,29 @@ class ParallelSweepRunner:
         """In-parent execution: the workers=1 path and the recovery path.
 
         Runs with no wall-clock budget — a requeued cell must be allowed
-        to finish, otherwise the sweep could never complete.
+        to finish, otherwise the sweep could never complete.  A cell that
+        raises even here (bad config, protocol bug, failed audit) is
+        recorded in :attr:`failures` and the rest of the sweep continues;
+        the old behaviour of letting the exception abort every remaining
+        cell turned one bad cell into a lost sweep.
         """
         for cell in cells:
             started = time.perf_counter()
-            result = execute_cell(cell)
+            try:
+                result = execute_cell(cell)
+            except Exception as exc:
+                self.failures.append(
+                    CellFailure(
+                        cell=cell,
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                    )
+                )
+                self._emit(
+                    f"{cell.label} failed permanently "
+                    f"({type(exc).__name__}: {exc}); continuing"
+                )
+                continue
             self._finish(cell, result, time.perf_counter() - started, results, keys)
 
     def _run_pool(

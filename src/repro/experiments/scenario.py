@@ -25,6 +25,8 @@ from ..metrics.execution import ExecutionResult, mean_delivery_delay_s, run_unti
 from ..metrics.overhead import OverheadReport, network_overhead
 from ..metrics.throughput import ThroughputReport, network_throughput
 from ..metrics.utilization import UtilizationReport, network_utilization
+from ..faults.audit import FaultAuditError, audit_macs
+from ..faults.injector import FaultInjector, FaultReport
 from ..net.clock import NodeClock
 from ..net.node import Node
 from ..perf import GLOBAL_PERF, PerfReport
@@ -52,6 +54,9 @@ class ScenarioResult:
     execution: Optional[ExecutionResult] = None
     extra_completed: int = 0
     offered_bits: int = 0
+    #: Degradation report, present iff the scenario ran with a non-empty
+    #: fault plan (fault event log, recovery metrics, audit outcome).
+    faults: Optional[FaultReport] = None
     #: Counter snapshot for the perf layer.  Deliberately excluded from
     #: :meth:`to_dict`: wall time is machine-dependent, and figure metrics
     #: must stay bit-identical with the link cache on or off.
@@ -68,6 +73,13 @@ class ScenarioResult:
     @property
     def overhead_units(self) -> float:
         return self.overhead.total_units
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Delivered fraction of the offered traffic (degradation metric)."""
+        if self.offered_bits <= 0:
+            return 0.0
+        return self.throughput.total_bits / self.offered_bits
 
     def to_dict(self) -> Dict[str, object]:
         """Flat JSON-friendly summary (for EXPERIMENTS.md tooling / CI)."""
@@ -90,6 +102,11 @@ class ScenarioResult:
         if self.execution is not None:
             summary["drain_time_s"] = self.execution.drain_time_s
             summary["timed_out"] = self.execution.timed_out
+        if self.faults is not None:
+            # Fault-free runs add no keys at all: downstream exports stay
+            # byte-for-byte identical when no plan was configured.
+            summary["delivery_ratio"] = self.delivery_ratio
+            summary.update(self.faults.to_dict())
         return summary
 
 
@@ -127,6 +144,23 @@ class Scenario:
         )
         sink_set = set(self.deployment.sink_ids)
         clock_rng = self.sim.streams.get("clocks")
+
+        def _make_clock() -> NodeClock:
+            # Draw order (offset, then drift, per node) is part of the
+            # reproducibility contract; each draw happens only when its
+            # std is nonzero so legacy configs consume identical RNG.
+            offset = (
+                float(clock_rng.normal(0.0, config.clock_offset_std_s))
+                if config.clock_offset_std_s > 0
+                else 0.0
+            )
+            drift = (
+                float(clock_rng.normal(0.0, config.clock_drift_ppm_std))
+                if config.clock_drift_ppm_std > 0
+                else 0.0
+            )
+            return NodeClock(self.sim, offset_s=offset, drift_ppm=drift)
+
         self.nodes: List[Node] = [
             Node(
                 self.sim,
@@ -135,14 +169,7 @@ class Scenario:
                 self.channel,
                 is_sink=node_id in sink_set,
                 queue_limit=config.queue_limit,
-                clock=NodeClock(
-                    self.sim,
-                    offset_s=(
-                        float(clock_rng.normal(0.0, config.clock_offset_std_s))
-                        if config.clock_offset_std_s > 0
-                        else 0.0
-                    ),
-                ),
+                clock=_make_clock(),
             )
             for node_id, position in enumerate(self.deployment.positions)
         ]
@@ -168,6 +195,14 @@ class Scenario:
             )
         self.traffic: Optional[PoissonTraffic] = None
         self.batch: Optional[BatchWorkload] = None
+        # The injector exists only for a non-empty plan: an empty plan
+        # must leave the event heap and RNG stream set untouched so the
+        # figure pipeline stays bit-identical to a fault-free build.
+        self.injector: Optional[FaultInjector] = None
+        if config.faults:
+            self.injector = FaultInjector(
+                self.sim, self.nodes, self.channel, config.faults
+            )
         self._started = False
 
     # ------------------------------------------------------------------
@@ -187,6 +222,8 @@ class Scenario:
             mac.start()
         if self.mobility is not None:
             self.mobility.start()
+        if self.injector is not None:
+            self.injector.arm()
 
     # ------------------------------------------------------------------
     def run_steady_state(self) -> ScenarioResult:
@@ -242,6 +279,12 @@ class Scenario:
             offered = self.traffic.stats.bits
         elif self.batch is not None:
             offered = self.batch.stats.bits
+        faults_report: Optional[FaultReport] = None
+        if self.injector is not None:
+            violations = audit_macs(self.macs)
+            faults_report = self.injector.build_report(violations)
+            if self.config.faults.strict_audit and violations:
+                raise FaultAuditError(violations)
         perf = PerfReport.capture(self.sim, self.channel.stats, duration_s)
         GLOBAL_PERF.add(perf)
         return ScenarioResult(
@@ -258,6 +301,7 @@ class Scenario:
             mean_delay_s=mean_delivery_delay_s(self.nodes),
             extra_completed=extra,
             offered_bits=offered,
+            faults=faults_report,
             perf=perf,
         )
 

@@ -47,6 +47,11 @@ from ..phy.modem import Arrival, RxOutcome
 from .slots import SlotTiming
 
 
+def _event_live(event: Optional[Event]) -> bool:
+    """True iff ``event`` exists and is still pending in the kernel."""
+    return event is not None and event.pending
+
+
 class MacState(Enum):
     """Core handshake states (subset of the paper's Fig. 3)."""
 
@@ -228,10 +233,90 @@ class SlottedMac:
         )
 
     def stop(self) -> None:
-        """Cancel all pending activity (end of experiment)."""
+        """Cancel all pending activity (end of experiment or node crash)."""
         for event in (self._slot_event, self._cts_timeout, self._ack_timeout, self._data_timeout):
             self.sim.cancel(event)
         self._slot_event = None
+        self._cts_timeout = None
+        self._ack_timeout = None
+        self._data_timeout = None
+
+    def restart(self) -> None:
+        """Reboot the MAC after a node recovery: wipe state, start fresh.
+
+        A recovered node does not remember an in-flight handshake — it
+        rejoins like a newly deployed sensor: Hello, then slot ticks.
+        """
+        self.stop()
+        self._reset_protocol_state()
+        self._started = False
+        self.start()
+
+    def _reset_protocol_state(self) -> None:
+        """Drop every pending handshake context (crash/reboot semantics).
+
+        Subclasses extend this to clear their protocol-specific contexts
+        (EW-MAC asking/asked, ROPA append, CS-MAC steal); they must call
+        ``super()._reset_protocol_state()``.
+        """
+        for event in (self._cts_timeout, self._ack_timeout, self._data_timeout):
+            self.sim.cancel(event)
+        self._cts_timeout = None
+        self._ack_timeout = None
+        self._data_timeout = None
+        self.state = MacState.IDLE
+        self._current_request = None
+        self._target = None
+        self._rts_slot = None
+        self._data_due_slot = None
+        self._data_was_sent = False
+        self._rts_candidates = []
+        self._grant_src = None
+        self._grant_data_bits = 0
+        self._grant_tau = 0.0
+        self._ack_due_slot = None
+        self._ack_dst = None
+        self._backoff_slots = 0
+        self._cw = self.config.cw_min
+
+    # ------------------------------------------------------------------
+    # Post-run invariant audit (fault injection)
+    # ------------------------------------------------------------------
+    def audit_pending_state(self) -> List[str]:
+        """Check for wedged handshake state; returns violation strings.
+
+        A non-IDLE state is legitimate only while a live timeout (or a
+        scheduled due-slot action) guarantees forward progress.  A state
+        that nothing will ever advance — typically left behind when a peer
+        died mid-exchange — is a wedge, and each one is reported.  Stopped
+        or failed MACs are exempt: their state is frozen by design.
+        """
+        if not self._started or not self.node.modem.enabled:
+            return []
+        violations: List[str] = []
+        prefix = f"{self.name} node {self.node.node_id}"
+        if not _event_live(self._slot_event):
+            violations.append(f"{prefix}: slot engine not running")
+            return violations
+        if self.state is MacState.WAIT_CTS and not _event_live(self._cts_timeout):
+            violations.append(f"{prefix}: WAIT_CTS without a live CTS timeout")
+        if self.state is MacState.WAIT_SEND_DATA and self._data_due_slot is None:
+            violations.append(f"{prefix}: WAIT_SEND_DATA without a data due slot")
+        if self.state is MacState.WAIT_ACK and not _event_live(self._ack_timeout):
+            violations.append(f"{prefix}: WAIT_ACK without a live Ack timeout")
+        if (
+            self.state is MacState.WAIT_DATA
+            and not _event_live(self._data_timeout)
+            and self._ack_due_slot is None
+        ):
+            violations.append(
+                f"{prefix}: WAIT_DATA without a live data timeout or pending Ack"
+            )
+        self._audit_protocol_state(violations)
+        return violations
+
+    def _audit_protocol_state(self, violations: List[str]) -> None:
+        """Subclass hook: append protocol-specific wedge findings."""
 
     def notify_queue(self) -> None:
         """Node enqueued data; the next slot tick will pick it up."""
@@ -511,6 +596,8 @@ class SlottedMac:
     # Frame reception and overhearing
     # ------------------------------------------------------------------
     def _on_modem_receive(self, frame: Frame, arrival: Arrival) -> None:
+        if not self.node.modem.enabled:
+            return  # decoded just as the node died: a dead MAC reacts to nothing
         # Passive one-hop delay maintenance from every frame (paper 4.3).
         measured = arrival.start - frame.timestamp
         if frame.src != self.node.node_id and measured >= 0:

@@ -234,6 +234,24 @@ class CsMac(SlottedMac):
             self.sim.cancel(self._steal.ack_timeout)
             self._steal = None
 
+    def _reset_protocol_state(self) -> None:  # noqa: D102 - crash/reboot wipe
+        super()._reset_protocol_state()
+        if self._steal is not None:
+            self.sim.cancel(self._steal.ack_timeout)
+            self._steal = None
+        self._busy_until.clear()
+
+    def _audit_protocol_state(self, violations) -> None:  # noqa: D102
+        prefix = f"{self.name} node {self.node.node_id}"
+        if self.state is MacState.EXTRA and self._steal is None:
+            violations.append(f"{prefix}: EXTRA state without a steal context")
+        if self._steal is not None and not (
+            self._steal.ack_timeout is not None and self._steal.ack_timeout.pending
+        ):
+            violations.append(
+                f"{prefix}: steal context (target {self._steal.target}) with no live Ack timeout"
+            )
+
     def _on_steal_ack(self, frame: Frame) -> None:
         context = self._steal
         if context is None or frame.src != context.target:

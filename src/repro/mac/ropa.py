@@ -333,3 +333,27 @@ class Ropa(SlottedMac):
         if self._offer is not None:
             self.sim.cancel(self._offer.expiry)
             self._offer = None
+
+    def _reset_protocol_state(self) -> None:  # noqa: D102 - crash/reboot wipe
+        super()._reset_protocol_state()
+        self._abort_append()
+        if self._offer is not None:
+            self.sim.cancel(self._offer.expiry)
+            self._offer = None
+
+    def _audit_protocol_state(self, violations) -> None:  # noqa: D102
+        prefix = f"{self.name} node {self.node.node_id}"
+        context = self._appending
+        if context is not None and not any(
+            event is not None and event.pending
+            for event in (context.rta_event, context.ata_timeout, context.ack_timeout)
+        ):
+            violations.append(
+                f"{prefix}: append request (target {context.target}) with no live event"
+            )
+        if self._offer is not None and not (
+            self._offer.expiry is not None and self._offer.expiry.pending
+        ):
+            violations.append(
+                f"{prefix}: append offer (appender {self._offer.appender}) with no live expiry"
+            )

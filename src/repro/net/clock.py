@@ -9,6 +9,8 @@ the slotted design depends on nodes agreeing on slot boundaries.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..des.simulator import Simulator
 
 
@@ -42,3 +44,21 @@ class NodeClock:
     def delay_until_local(self, local_time: float) -> float:
         """Seconds of true time from now until ``local_time`` (>= 0)."""
         return max(0.0, self.to_true(local_time) - self.sim.now)
+
+    def apply_fault(
+        self, offset_jump_s: float = 0.0, drift_ppm: Optional[float] = None
+    ) -> None:
+        """Degrade synchronization mid-run (fault injection).
+
+        Continuity-preserving apart from the jump: local time immediately
+        after the fault equals local time immediately before plus
+        ``offset_jump_s``, regardless of any drift change — the offset is
+        re-anchored so a new drift rate only affects the future, not the
+        node's past local timeline.
+        """
+        local_now = self.to_local(self.sim.now)
+        if drift_ppm is not None:
+            self.drift_ppm = drift_ppm
+        self.offset_s = (
+            local_now + offset_jump_s - self.sim.now * (1.0 + self.drift_ppm * 1e-6)
+        )

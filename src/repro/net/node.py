@@ -83,6 +83,11 @@ class Node:
         self.app_stats = AppStats()
         self.modem: AcousticModem = channel.create_modem(node_id, lambda: self._position)
         self.mac = None  # attached by the MAC layer
+        #: Fault-recovery bookkeeping: when the node last came back from a
+        #: crash, and how long it took to complete its first application-
+        #: level send/delivery afterwards (the time-to-recover metric).
+        self.recovered_at: Optional[float] = None
+        self.recovery_latency_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Position (movement invalidates the channel's link-state cache)
@@ -130,11 +135,18 @@ class Node:
         self.app_stats.sent_bits += request.size_bits
         self.app_stats.delivery_delay_total_s += self.sim.now - request.created_at
         self.app_stats.last_sent_at = self.sim.now
+        self._note_recovery_progress()
 
     def note_delivered(self, size_bits: int) -> None:
         """MAC callback on the *receiver*: a data packet arrived intact."""
         self.app_stats.delivered += 1
         self.app_stats.delivered_bits += size_bits
+        self._note_recovery_progress()
+
+    def _note_recovery_progress(self) -> None:
+        """First app-level success after a recovery fixes its latency."""
+        if self.recovered_at is not None and self.recovery_latency_s is None:
+            self.recovery_latency_s = self.sim.now - self.recovered_at
 
     # ------------------------------------------------------------------
     # Queue inspection used by MAC layers
@@ -178,9 +190,30 @@ class Node:
         Queued data is lost with the node (it sank, flooded, or ran out of
         battery); the rest of the network must route around it.
         """
+        if not self.alive:
+            return  # already down; a second fail must not double-stop
         if self.mac is not None:
             self.mac.stop()
         self.modem.enabled = False
+        self.queue.clear()
+
+    def recover(self) -> None:
+        """Bring a failed node back: re-enable the modem, restart the MAC.
+
+        The node rejoins with an empty queue and wiped handshake state (a
+        reboot, not a resume) and re-announces itself with a fresh Hello.
+        Time-to-recover is measured from this instant to the node's first
+        successful application-level send or delivery.
+        """
+        if self.alive:
+            return
+        self.modem.enabled = True
+        self.modem.tx_enabled = True
+        self.modem.rx_enabled = True
+        self.recovered_at = self.sim.now
+        self.recovery_latency_s = None
+        if self.mac is not None:
+            self.mac.restart()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "sink" if self.is_sink else "node"

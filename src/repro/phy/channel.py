@@ -114,6 +114,11 @@ class AcousticChannel:
         # keeps the broadcast loop free of a per-receiver virtual dispatch.
         self._fading_active = not isinstance(self.fading, NoFading)
         self.per_rng = sim.streams.get("channel.per")
+        #: Transient network-wide noise-floor elevation in dB (fault
+        #: injection: ship-noise windows).  0.0 — always, in clean runs —
+        #: leaves every decode arithmetically untouched; noise bursts
+        #: raise and later restore it.
+        self.extra_noise_db = 0.0
         self.stats = ChannelStats()
         self._members: Dict[int, Tuple[AcousticModem, Callable[[], Position]]] = {}
         self.link_cache: Optional[LinkStateCache] = None

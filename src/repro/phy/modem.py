@@ -34,6 +34,7 @@ class RxOutcome(Enum):
     HALF_DUPLEX = "half_duplex"
     COLLISION = "collision"
     NOISE = "noise"
+    OFFLINE = "offline"  # modem dead or RX chain in an injected outage
 
 
 @dataclass
@@ -77,6 +78,9 @@ class ModemStats:
     rx_collision: int = 0
     rx_noise: int = 0
     rx_busy_time_s: float = 0.0
+    # fault-injection counters
+    tx_suppressed: int = 0
+    rx_outage: int = 0
 
     def outcome_count(self, outcome: RxOutcome) -> int:
         return {
@@ -84,6 +88,7 @@ class ModemStats:
             RxOutcome.HALF_DUPLEX: self.rx_half_duplex,
             RxOutcome.COLLISION: self.rx_collision,
             RxOutcome.NOISE: self.rx_noise,
+            RxOutcome.OFFLINE: self.rx_outage,
         }[outcome]
 
 
@@ -109,6 +114,12 @@ class AcousticModem:
         self.channel = channel
         #: Failure injection: a disabled modem neither sends nor receives.
         self.enabled = True
+        #: Partial outages (node alive, one chain down): a disabled TX
+        #: chain silently swallows transmissions; a disabled RX chain
+        #: drops arrivals.  The MAC keeps running and must recover through
+        #: its own timeouts — unlike ``enabled``, these never raise.
+        self.tx_enabled = True
+        self.rx_enabled = True
         self.stats = ModemStats()
         self.on_receive: Optional[Callable[[Frame, Arrival], None]] = None
         self.on_rx_failure: Optional[Callable[[Arrival, RxOutcome], None]] = None
@@ -151,6 +162,15 @@ class AcousticModem:
                 f"node {self.node_id}: transmit({frame.describe()}) while "
                 "already transmitting"
             )
+        if not self.tx_enabled:
+            # TX-chain outage: the frame is lost in the dead amplifier.
+            # Unlike a dead modem this is not a protocol bug — the MAC's
+            # own retry/timeout machinery is expected to absorb it.
+            self.stats.tx_suppressed += 1
+            self.sim.trace.emit(
+                self.sim.now, "phy.tx_suppressed", self.node_id, frame=frame.describe()
+            )
+            return 0.0
         duration = frame.duration_s(self.channel.bitrate_bps)
         frame.timestamp = self.sim.now
         self._tx_intervals.append(_TxInterval(self.sim.now, self.sim.now + duration))
@@ -174,6 +194,9 @@ class AcousticModem:
         """Channel callback: a signal's leading edge reached this modem."""
         if not self.enabled:
             return
+        if not self.rx_enabled:
+            self.stats.rx_outage += 1
+            return
         self._arrivals.append(arrival)
         duration = arrival.end - arrival.start
         if duration > self._max_duration_s:
@@ -186,6 +209,20 @@ class AcousticModem:
         self.sim.schedule_at(arrival.end, self._finish_arrival, arrival)
 
     def _finish_arrival(self, arrival: Arrival) -> None:
+        if not self.enabled or not self.rx_enabled:
+            # The node died (or its RX chain dropped) while this signal was
+            # in flight: nothing is decoded and no RNG is drawn, so clean
+            # runs — where both flags are always True — are untouched.
+            self.stats.rx_outage += 1
+            self._prune_arrivals()
+            self.sim.trace.emit(
+                self.sim.now,
+                "phy.rx_fail",
+                self.node_id,
+                frame=arrival.frame.describe(),
+                why=RxOutcome.OFFLINE.value,
+            )
+            return
         outcome = self._decode_outcome(arrival)
         self._prune_arrivals()
         if outcome is RxOutcome.OK:
@@ -226,7 +263,9 @@ class AcousticModem:
             and other.end > arrival.start
         ]
         sinr_db = self.channel.link_budget.sinr_db_from_levels(
-            arrival.level_db, interferer_levels
+            arrival.level_db,
+            interferer_levels,
+            extra_noise_db=self.channel.extra_noise_db,
         )
         draw = self.channel.per_rng.random()
         ok = self.channel.per_model.is_successful(sinr_db, arrival.frame.size_bits, draw)

@@ -1,0 +1,155 @@
+"""Tests for the benchmark regression gate script (benchmarks/check_regression.py).
+
+The script is not an installed module; load it straight from the
+``benchmarks/`` directory so the gate's behaviour — especially the
+missing-benchmark FAIL path and malformed-entry tolerance — is pinned by
+the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def export(path, benchmarks):
+    """Write a minimal pytest-benchmark JSON export."""
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "stats": {"mean": mean}}
+                    if mean is not None
+                    else {"fullname": name}  # malformed: no stats at all
+                    for name, mean in benchmarks
+                ]
+            }
+        )
+    )
+    return path
+
+
+class TestLoadMeans:
+    def test_reads_means_by_fullname(self, tmp_path):
+        path = export(tmp_path / "b.json", [("bench_a", 1.5), ("bench_b", 0.25)])
+        assert check_regression.load_means(path) == {"bench_a": 1.5, "bench_b": 0.25}
+
+    def test_malformed_entry_skipped_not_fatal(self, tmp_path, capsys):
+        path = export(tmp_path / "b.json", [("bench_a", 1.0), ("broken", None)])
+        means = check_regression.load_means(path)
+        assert means == {"bench_a": 1.0}
+        assert "SKIP  broken: malformed benchmark entry" in capsys.readouterr().out
+
+    def test_non_numeric_mean_skipped(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {"benchmarks": [{"fullname": "bad", "stats": {"mean": "fast"}}]}
+            )
+        )
+        assert check_regression.load_means(path) == {}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, capsys):
+        count = check_regression.compare({"a": 1.1}, {"a": 1.0}, threshold=0.25)
+        assert count == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_regression_detected(self, capsys):
+        count = check_regression.compare({"a": 1.5}, {"a": 1.0}, threshold=0.25)
+        assert count == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_new_benchmark_skipped(self, capsys):
+        count = check_regression.compare({"new": 1.0}, {}, threshold=0.25)
+        assert count == 0
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_missing_benchmark_is_a_clear_fail(self, capsys):
+        """A baseline benchmark absent from the candidate fails loudly.
+
+        Before the fix this was a silent pass (or a KeyError in callers
+        indexing the candidate dict): a deleted/renamed benchmark made the
+        gate pretend the suite was healthy.
+        """
+        count = check_regression.compare({}, {"gone": 1.0}, threshold=0.25)
+        assert count == 1
+        out = capsys.readouterr().out
+        assert "FAIL  gone" in out
+        assert "missing from the candidate" in out
+
+    def test_missing_and_regressed_both_counted(self):
+        count = check_regression.compare(
+            {"slow": 2.0}, {"slow": 1.0, "gone": 1.0}, threshold=0.25
+        )
+        assert count == 2
+
+    def test_unusable_baseline_mean_skipped(self, capsys):
+        count = check_regression.compare({"a": 1.0}, {"a": 0.0}, threshold=0.25)
+        assert count == 0
+        assert "unusable" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_missing_benchmark_exits_nonzero(self, tmp_path, capsys):
+        current = export(tmp_path / "current.json", [("kept", 1.0)])
+        baseline = export(
+            tmp_path / "baseline.json", [("kept", 1.0), ("gone", 1.0)]
+        )
+        code = check_regression.main([str(current), str(baseline)])
+        assert code == 1
+        assert "went missing" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, tmp_path):
+        current = export(tmp_path / "current.json", [("a", 1.0)])
+        baseline = export(tmp_path / "baseline.json", [("a", 1.0)])
+        assert check_regression.main([str(current), str(baseline)]) == 0
+
+    def test_missing_baseline_file_unarms_the_gate(self, tmp_path, capsys):
+        current = export(tmp_path / "current.json", [("a", 1.0)])
+        code = check_regression.main([str(current), str(tmp_path / "none.json")])
+        assert code == 0
+        assert "unarmed" in capsys.readouterr().out
+
+    def test_missing_current_file_is_an_error(self, tmp_path):
+        baseline = export(tmp_path / "baseline.json", [("a", 1.0)])
+        code = check_regression.main([str(tmp_path / "none.json"), str(baseline)])
+        assert code == 2
+
+    def test_empty_current_export_is_an_error(self, tmp_path):
+        current = export(tmp_path / "current.json", [])
+        baseline = export(tmp_path / "baseline.json", [("a", 1.0)])
+        assert check_regression.main([str(current), str(baseline)]) == 2
+
+    def test_threshold_flag_respected(self, tmp_path):
+        current = export(tmp_path / "current.json", [("a", 1.2)])
+        baseline = export(tmp_path / "baseline.json", [("a", 1.0)])
+        assert check_regression.main([str(current), str(baseline)]) == 0
+        assert (
+            check_regression.main(
+                [str(current), str(baseline), "--threshold", "0.1"]
+            )
+            == 1
+        )
+
+
+@pytest.mark.parametrize("direction", ["missing", "regressed"])
+def test_summary_names_the_failure_class(tmp_path, capsys, direction):
+    if direction == "missing":
+        current = export(tmp_path / "c.json", [("kept", 1.0)])
+        baseline = export(tmp_path / "b.json", [("kept", 1.0), ("gone", 1.0)])
+    else:
+        current = export(tmp_path / "c.json", [("kept", 2.0)])
+        baseline = export(tmp_path / "b.json", [("kept", 1.0)])
+    assert check_regression.main([str(current), str(baseline)]) == 1
+    assert "regressed more than" in capsys.readouterr().out

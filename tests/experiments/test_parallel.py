@@ -228,6 +228,85 @@ class TestRecovery:
         assert _grid_dicts(serial) == _grid_dicts(recovered)
 
 
+def _poisoned_execute_cell(cell, wall_budget_s=None):
+    """Fails one specific cell every time (pool *and* serial retry)."""
+    if cell.protocol == "EW-MAC" and cell.seed == 1:
+        raise RuntimeError("synthetic permanent failure")
+    return execute_cell(cell, wall_budget_s)
+
+
+class TestPermanentFailure:
+    """A cell that fails even serially is recorded, not sweep-fatal."""
+
+    def test_serial_sweep_survives_a_crashing_cell(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", _poisoned_execute_cell)
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        runner = ParallelSweepRunner(workers=1)
+        grid = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1, 2))
+        assert len(runner.failures) == 1
+        failure = runner.failures[0]
+        assert failure.cell.protocol == "EW-MAC" and failure.cell.seed == 1
+        assert "RuntimeError: synthetic permanent failure" in failure.error
+        assert "synthetic permanent failure" in failure.traceback
+        # The failed cell's slot is simply missing; its siblings survived.
+        assert len(grid[(0.4, "EW-MAC")]) == 1
+        assert len(grid[(0.4, "S-FAMA")]) == 2
+
+    def test_failed_cells_keep_an_empty_grid_entry(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+        from repro.experiments.sweeps import aggregate
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", _poisoned_execute_cell)
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        runner = ParallelSweepRunner(workers=1)
+        grid = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        assert grid[(0.4, "EW-MAC")] == []  # present, empty: no KeyError
+        series = aggregate(
+            grid, [0.4], PROTOCOLS, lambda r: r.throughput_kbps
+        )
+        assert series["EW-MAC"] == [0.0]  # lost cell means "no samples"
+        assert series["S-FAMA"][0] > 0.0
+
+    def test_failure_summary_reported_through_progress(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", _poisoned_execute_cell)
+        messages = []
+        runner = ParallelSweepRunner(workers=1, progress=messages.append)
+        runner.run(_quick_spec(x_values=(0.4,)), _quick_base(), PROTOCOLS, (1,))
+        assert any("failed permanently" in m for m in messages)
+        assert any("1 failed cell(s)" in m for m in messages)
+
+    def test_run_cells_marks_failed_slots_none(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", _poisoned_execute_cell)
+        cells = expand_cells(
+            _quick_spec(x_values=(0.4,)), _quick_base(), PROTOCOLS, (1,)
+        )
+        runner = ParallelSweepRunner(workers=1)
+        results = runner.run_cells(cells)
+        assert [r is None for r in results] == [
+            cell.protocol == "EW-MAC" for cell in cells
+        ]
+
+    def test_pool_path_records_permanent_failures(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        # Fork context: children inherit the monkeypatched module, so the
+        # poisoned cell crashes in the pool AND on the serial retry.
+        monkeypatch.setattr(parallel_mod, "execute_cell", _poisoned_execute_cell)
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        runner = ParallelSweepRunner(workers=2, mp_context="fork")
+        grid = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        assert [cell.seed for cell in runner.requeued] == [1]
+        assert len(runner.failures) == 1
+        assert grid[(0.4, "EW-MAC")] == []
+        assert len(grid[(0.4, "S-FAMA")]) == 1
+
+
 class TestWorkItem:
     def test_label(self):
         cell = SweepCell(0, 0.5, "EW-MAC", 3, _quick_base())

@@ -1,0 +1,122 @@
+"""Unit tests for the declarative fault plans."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.cache import cell_key
+from repro.experiments.config import table2_config
+from repro.faults.plan import (
+    ClockFault,
+    CrashWave,
+    FaultPlan,
+    ModemOutage,
+    NodeCrash,
+    NoiseBurst,
+)
+
+
+class TestValidation:
+    def test_crash_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node_id=1, at_s=-1.0)
+
+    def test_crash_rejects_nonpositive_recovery(self):
+        with pytest.raises(ValueError):
+            NodeCrash(node_id=1, at_s=10.0, recover_after_s=0.0)
+
+    def test_wave_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            CrashWave(at_s=10.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            CrashWave(at_s=10.0, fraction=1.5)
+        CrashWave(at_s=10.0, fraction=1.0)  # inclusive upper bound
+
+    def test_wave_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            CrashWave(at_s=10.0, fraction=0.2, jitter_s=-1.0)
+
+    def test_outage_direction_checked(self):
+        with pytest.raises(ValueError):
+            ModemOutage(node_id=1, at_s=5.0, duration_s=2.0, direction="sideways")
+        for direction in ("tx", "rx", "both"):
+            ModemOutage(node_id=1, at_s=5.0, duration_s=2.0, direction=direction)
+
+    def test_outage_duration_positive(self):
+        with pytest.raises(ValueError):
+            ModemOutage(node_id=1, at_s=5.0, duration_s=0.0)
+
+    def test_clock_fault_must_do_something(self):
+        with pytest.raises(ValueError):
+            ClockFault(node_id=1, at_s=5.0)
+        ClockFault(node_id=1, at_s=5.0, offset_jump_s=0.01)
+        ClockFault(node_id=1, at_s=5.0, drift_ppm=2.0)
+
+    def test_noise_burst_rejects_zero_db(self):
+        with pytest.raises(ValueError):
+            NoiseBurst(at_s=5.0, duration_s=2.0, extra_noise_db=0.0)
+        NoiseBurst(at_s=5.0, duration_s=2.0, extra_noise_db=-3.0)  # quieting ok
+
+
+class TestPlan:
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan()
+        assert plan.empty
+        assert not plan
+
+    def test_any_fault_makes_it_truthy(self):
+        plan = FaultPlan(crashes=(NodeCrash(node_id=1, at_s=10.0),))
+        assert not plan.empty
+        assert plan
+
+    def test_sequences_coerced_to_tuples(self):
+        plan = FaultPlan(crashes=[NodeCrash(node_id=1, at_s=10.0)])
+        assert isinstance(plan.crashes, tuple)
+        hash(plan)  # hashable only because the coercion happened
+
+    def test_pickle_round_trip(self):
+        plan = FaultPlan(
+            crashes=(NodeCrash(node_id=1, at_s=10.0, recover_after_s=5.0),),
+            waves=(CrashWave(at_s=20.0, fraction=0.2),),
+            outages=(ModemOutage(node_id=2, at_s=5.0, duration_s=3.0),),
+            clock_faults=(ClockFault(node_id=3, at_s=8.0, drift_ppm=5.0),),
+            noise_bursts=(NoiseBurst(at_s=12.0, duration_s=4.0, extra_noise_db=6.0),),
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestCacheKey:
+    """The result-cache key must separate configs by their fault plan."""
+
+    def test_default_and_explicit_empty_plan_share_a_key(self):
+        base = table2_config()
+        explicit = base.with_(faults=FaultPlan())
+        assert cell_key(base, None) == cell_key(explicit, None)
+
+    def test_differing_plans_hash_differently(self):
+        base = table2_config()
+        plan_a = FaultPlan(waves=(CrashWave(at_s=85.0, fraction=0.2),))
+        plan_b = FaultPlan(waves=(CrashWave(at_s=85.0, fraction=0.3),))
+        keys = {
+            cell_key(base, None),
+            cell_key(base.with_(faults=plan_a), None),
+            cell_key(base.with_(faults=plan_b), None),
+        }
+        assert len(keys) == 3
+
+    def test_equal_plans_hash_equally(self):
+        base = table2_config()
+        plan = FaultPlan(waves=(CrashWave(at_s=85.0, fraction=0.2),))
+        assert cell_key(base.with_(faults=plan), None) == cell_key(
+            base.with_(faults=FaultPlan(waves=(CrashWave(at_s=85.0, fraction=0.2),))),
+            None,
+        )
+
+    def test_strict_audit_is_part_of_the_key(self):
+        base = table2_config()
+        wave = (CrashWave(at_s=85.0, fraction=0.2),)
+        strict = base.with_(faults=FaultPlan(waves=wave, strict_audit=True))
+        lax = base.with_(faults=FaultPlan(waves=wave, strict_audit=False))
+        assert cell_key(strict, None) != cell_key(lax, None)

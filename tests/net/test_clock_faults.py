@@ -1,0 +1,130 @@
+"""Clock faults and the seeded per-node drift distribution (robustness).
+
+Covers :meth:`NodeClock.apply_fault` and the ``clock_drift_ppm_std``
+scenario wiring: per-node drifts come from the same seeded ``"clocks"``
+stream as the offsets, the draw order (offset, then drift, per node) is a
+reproducibility contract, and the shipped distributions keep worst-case
+slot skew inside the grid's guard allowance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.simulator import Simulator
+from repro.experiments.config import table2_config
+from repro.experiments.scenario import Scenario
+from repro.net.clock import NodeClock
+
+
+class TestApplyFault:
+    def test_offset_jump_is_discontinuous_but_anchored(self):
+        sim = Simulator()
+        clock = NodeClock(sim, offset_s=0.1, drift_ppm=20.0)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        before = clock.now()
+        clock.apply_fault(offset_jump_s=0.05)
+        assert clock.now() == pytest.approx(before + 0.05)
+
+    def test_drift_change_preserves_local_continuity(self):
+        sim = Simulator()
+        clock = NodeClock(sim, offset_s=0.02, drift_ppm=50.0)
+        sim.schedule(200.0, lambda: None)
+        sim.run()
+        before = clock.now()
+        clock.apply_fault(drift_ppm=-30.0)
+        assert clock.drift_ppm == -30.0
+        # No jump requested: local time is continuous through the fault...
+        assert clock.now() == pytest.approx(before)
+
+    def test_new_drift_only_affects_the_future(self):
+        sim = Simulator()
+        clock = NodeClock(sim, drift_ppm=0.0)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        clock.apply_fault(drift_ppm=100.0)
+        at_fault = clock.to_local(100.0)
+        later = clock.to_local(200.0)
+        # 100 s of true time after the fault accrues 100 * 1e-4 s of skew;
+        # the 100 drift-free seconds before it accrued none.
+        assert at_fault == pytest.approx(100.0)
+        assert later - at_fault - 100.0 == pytest.approx(100.0 * 1e-4)
+
+    def test_combined_jump_and_drift(self):
+        sim = Simulator()
+        clock = NodeClock(sim, offset_s=0.01, drift_ppm=10.0)
+        sim.schedule(50.0, lambda: None)
+        sim.run()
+        before = clock.now()
+        clock.apply_fault(offset_jump_s=-0.02, drift_ppm=25.0)
+        assert clock.now() == pytest.approx(before - 0.02)
+        assert clock.drift_ppm == 25.0
+
+
+def drift_config(**overrides):
+    defaults = dict(
+        n_sensors=10,
+        sim_time_s=20.0,
+        side_m=3000.0,
+        clock_offset_std_s=0.0005,
+        clock_drift_ppm_std=3.0,
+    )
+    defaults.update(overrides)
+    return table2_config(**defaults)
+
+
+class TestScenarioDriftWiring:
+    def test_nonzero_std_draws_distinct_per_node_drifts(self):
+        scenario = Scenario(drift_config())
+        drifts = [node.clock.drift_ppm for node in scenario.nodes]
+        assert any(d != 0.0 for d in drifts)
+        assert len(set(drifts)) > 1  # per-node, not a single shared value
+
+    def test_same_seed_reproduces_the_clock_population(self):
+        first = Scenario(drift_config(seed=5))
+        second = Scenario(drift_config(seed=5))
+        assert [n.clock.drift_ppm for n in first.nodes] == [
+            n.clock.drift_ppm for n in second.nodes
+        ]
+        assert [n.clock.offset_s for n in first.nodes] == [
+            n.clock.offset_s for n in second.nodes
+        ]
+
+    def test_zero_std_keeps_clocks_perfect(self):
+        scenario = Scenario(drift_config(clock_offset_std_s=0.0, clock_drift_ppm_std=0.0))
+        assert all(node.clock.perfect for node in scenario.nodes)
+
+    def test_draw_order_contract(self):
+        """Offset draws first per node; a zero std consumes no RNG at all.
+
+        Draws interleave per node (offset_0, drift_0, offset_1, ...), so
+        the first node's offset must be identical whether or not drift is
+        enabled, and a drift-free config leaves every drift exactly 0.0
+        (no draw) — legacy configs consume the same stream as before the
+        drift field existed.
+        """
+        without = Scenario(drift_config(clock_drift_ppm_std=0.0))
+        with_drift = Scenario(drift_config())
+        assert without.nodes[0].clock.offset_s == with_drift.nodes[0].clock.offset_s
+        assert all(n.clock.drift_ppm == 0.0 for n in without.nodes)
+
+    def test_guard_time_accounting_holds_with_drift(self):
+        """Worst-case slot skew over the horizon stays under omega.
+
+        The slotted grid tolerates clock disagreement up to roughly the
+        control-packet time omega before negotiated frames start missing
+        their slots entirely; the shipped drift/offset distributions must
+        keep every node's |local - true| below that through the whole run.
+        """
+        config = drift_config()
+        scenario = Scenario(config)
+        horizon = config.warmup_s + config.sim_time_s
+        worst = max(
+            abs(node.clock.to_local(horizon) - horizon) for node in scenario.nodes
+        )
+        assert worst < scenario.timing.omega_s
+
+    def test_drifted_scenario_runs_and_delivers(self):
+        result = Scenario(drift_config(sim_time_s=30.0)).run_steady_state()
+        assert result.throughput.total_bits > 0
