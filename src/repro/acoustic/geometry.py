@@ -28,12 +28,19 @@ class Position:
     z: float
 
     def distance_to(self, other: "Position") -> float:
-        """Euclidean distance in metres."""
-        return math.sqrt(
-            (self.x - other.x) ** 2
-            + (self.y - other.y) ** 2
-            + (self.z - other.z) ** 2
-        )
+        """Euclidean distance in metres.
+
+        Squares are written as explicit multiplications rather than ``** 2``:
+        both the scalar hot path and the vectorized broadcast kernel
+        (:mod:`repro.phy.vectorized`) must produce bit-identical distances,
+        and ``float.__pow__`` routes through libm ``pow`` which does not
+        always round identically to ``x * x`` — multiplication is exact IEEE
+        arithmetic in both NumPy and CPython (and is faster).
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
 
     def horizontal_distance_to(self, other: "Position") -> float:
         """Distance ignoring depth (useful for mobility models)."""

@@ -38,6 +38,43 @@ class PropagationModel:
     def delay_s(self, a: Position, b: Position, pair: Tuple[int, int] = (0, 0)) -> float:
         raise NotImplementedError
 
+    def delay_s_batch(
+        self,
+        origin: Position,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+        zs: "np.ndarray",
+        distances_m: "np.ndarray",
+        origin_id: int,
+        ids: "np.ndarray",
+    ) -> "np.ndarray":
+        """Delays from ``origin`` to every target, as one array.
+
+        The base implementation loops the scalar :meth:`delay_s` per target
+        pair — bit-identical with the scalar path by construction, so any
+        subclass (e.g. :class:`SspRayPropagation`, whose per-pair hashed
+        multipath draw cannot be vectorized) is automatically correct under
+        the vectorized broadcast kernel.  Models whose delay is a pure
+        function of geometry should override this with a true vector form
+        (see :class:`StraightLinePropagation`).
+
+        Args:
+            origin: Transmitter position.
+            xs / ys / zs: Target coordinate arrays (one element per target).
+            distances_m: Precomputed origin→target distances, bit-identical
+                with ``origin.distance_to(target)`` per element.
+            origin_id: Transmitting node id (the scalar path's ``pair[0]``).
+            ids: Target node ids, aligned with the coordinate arrays.
+        """
+        out = np.empty(len(ids), dtype=np.float64)
+        for k in range(len(ids)):
+            out[k] = self.delay_s(
+                origin,
+                Position(float(xs[k]), float(ys[k]), float(zs[k])),
+                pair=(origin_id, int(ids[k])),
+            )
+        return out
+
     def speed_mps(self) -> float:
         """Nominal speed used for slot sizing (tau_max computation)."""
         raise NotImplementedError
@@ -51,6 +88,21 @@ class StraightLinePropagation(PropagationModel):
 
     def delay_s(self, a: Position, b: Position, pair: Tuple[int, int] = (0, 0)) -> float:
         return a.distance_to(b) / self.speed
+
+    def delay_s_batch(
+        self,
+        origin: Position,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+        zs: "np.ndarray",
+        distances_m: "np.ndarray",
+        origin_id: int,
+        ids: "np.ndarray",
+    ) -> "np.ndarray":
+        """One vectorized division: bit-identical with ``distance / speed``
+        per element because IEEE division rounds identically in NumPy and
+        CPython and ``distances_m`` already matches the scalar distances."""
+        return distances_m / self.speed
 
     def speed_mps(self) -> float:
         return self.speed

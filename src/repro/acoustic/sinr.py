@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 from .attenuation import PathLossModel
 from .noise import AmbientNoiseModel
 
@@ -48,6 +50,17 @@ class LinkBudget:
     def received_level_db(self, distance_m: float) -> float:
         """RL = SL - A(l, f) in dB re 1 uPa."""
         return self.path_loss.received_level_db(self.source_level_db, distance_m)
+
+    def received_level_db_batch(self, distances_m: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`received_level_db` over a distance array.
+
+        Bit-identical with the scalar method per element (see
+        :meth:`PathLossModel.path_loss_db_batch`); used by the vectorized
+        broadcast kernel to fill whole link-state rows at once.
+        """
+        return self.path_loss.received_level_db_batch(
+            self.source_level_db, distances_m
+        )
 
     def noise_level_db(self) -> float:
         """Band-integrated ambient noise level in dB re 1 uPa.
@@ -96,13 +109,21 @@ class LinkBudget:
         ``extra_noise_db`` raises the ambient noise floor by that many dB
         (transient impairment bursts from fault injection); 0.0 — the
         clean-run value — takes the exact pre-existing arithmetic path.
+
+        This runs once per arrival (the single hottest arithmetic in a
+        simulation), so the dB conversions are inlined rather than routed
+        through :func:`db_to_linear` / :func:`linear_to_db`, and the empty
+        interferer case — the overwhelming majority — skips the generator
+        sum.  Both shortcuts are exact: the expressions are identical and
+        ``noise + 0.0`` is the IEEE identity for the positive noise power.
         """
-        signal = db_to_linear(signal_level_db)
+        signal = 10.0 ** (signal_level_db / 10.0)
         noise = self.noise_power_linear()
         if extra_noise_db:
-            noise *= db_to_linear(extra_noise_db)
-        interference = sum(db_to_linear(level) for level in interferer_levels_db)
-        return linear_to_db(signal / (noise + interference))
+            noise *= 10.0 ** (extra_noise_db / 10.0)
+        if interferer_levels_db:
+            noise += sum(10.0 ** (level / 10.0) for level in interferer_levels_db)
+        return 10.0 * math.log10(max(signal / noise, 1e-30))
 
     def communication_range_m(self, min_snr_db: float) -> float:
         """Maximum range at which SNR >= ``min_snr_db`` (no interference)."""

@@ -16,20 +16,29 @@ sender's learned one-hop delays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 
-@dataclass(frozen=True)
 class ProtectedInterval:
-    """A window during which a neighbour must not receive foreign energy."""
+    """A window during which a neighbour must not receive foreign energy.
 
-    start: float
-    end: float
-    reason: str = ""
+    A plain slotted class rather than a frozen dataclass: one is created
+    per overheard negotiation frame per listener, and the frozen
+    ``__setattr__`` detour tripled construction cost on that path.
+    """
+
+    __slots__ = ("start", "end", "reason")
+
+    def __init__(self, start: float, end: float, reason: str = "") -> None:
+        self.start = start
+        self.end = end
+        self.reason = reason
 
     def overlaps(self, start: float, end: float) -> bool:
         return self.start < end and self.end > start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProtectedInterval({self.start!r}, {self.end!r}, {self.reason!r})"
 
 
 class NeighborScheduleTracker:
@@ -38,6 +47,11 @@ class NeighborScheduleTracker:
     def __init__(self, owner_id: int) -> None:
         self.owner_id = owner_id
         self._windows: Dict[int, List[ProtectedInterval]] = {}
+        # Earliest end time of any tracked window: purge() is called per
+        # overheard frame, and scanning every neighbour's list each time
+        # dominated the tracker's cost — nothing can have expired before
+        # this watermark, so the common purge is one float compare.
+        self._next_expiry = float("inf")
 
     def protect(self, node_id: int, start: float, end: float, reason: str = "") -> None:
         """Mark [start, end) as a protected reception window of ``node_id``."""
@@ -46,18 +60,32 @@ class NeighborScheduleTracker:
         if end <= start:
             return
         self._windows.setdefault(node_id, []).append(ProtectedInterval(start, end, reason))
+        if end < self._next_expiry:
+            self._next_expiry = end
 
     def windows_of(self, node_id: int) -> List[ProtectedInterval]:
         return list(self._windows.get(node_id, []))
 
     def purge(self, now: float) -> None:
-        """Drop windows that ended in the past."""
+        """Drop windows that ended in the past.
+
+        Purely a memory/speed measure: an expired window (``end <= now``)
+        can never overlap a future send window, so when it fires has no
+        effect on :meth:`is_send_safe` decisions.
+        """
+        if now < self._next_expiry:
+            return
+        next_expiry = float("inf")
         for node_id in list(self._windows):
             kept = [w for w in self._windows[node_id] if w.end > now]
             if kept:
                 self._windows[node_id] = kept
+                for w in kept:
+                    if w.end < next_expiry:
+                        next_expiry = w.end
             else:
                 del self._windows[node_id]
+        self._next_expiry = next_expiry
 
     def is_send_safe(
         self,

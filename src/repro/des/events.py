@@ -149,26 +149,84 @@ class EventQueue:
         self._live += 1
         return event
 
+    def push_plain(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule a *non-cancellable* callback with no Event handle.
+
+        The heap entry is ``(time, priority, seq, None, callback, args)``
+        — ``None`` in the event slot marks it always-pending.  Arrival
+        begin/finish callbacks (the vast majority of all events in a dense
+        network) are never cancelled, so they skip the Event allocation
+        and the per-pop state checks entirely.  The unique ``seq`` keeps
+        heap comparisons from ever reaching the mixed-type tail elements.
+        """
+        heapq.heappush(
+            self._heap, (time, priority, next(self._seq), None, callback, args)
+        )
+        self._live += 1
+
     def pop(self) -> Optional[Event]:
-        """Remove and return the earliest pending event, or None if empty."""
+        """Remove and return the earliest pending event, or None if empty.
+
+        Handle-free entries (see :meth:`push_plain`) are materialized into
+        an Event on the way out so single-step callers see one interface;
+        the kernel's hot loop uses :meth:`pop_entry_until` instead, which
+        never allocates.
+        """
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[3]
-            if event.pending:
+            entry = heapq.heappop(heap)
+            event = entry[3]
+            if event is None:
+                self._live -= 1
+                return Event(entry[0], entry[1], entry[2], entry[4], entry[5])
+            if event._state == Event._PENDING:
                 self._live -= 1
                 return event
+        self._live = 0
+        return None
+
+    def pop_entry_until(self, until: Optional[float]) -> Optional[Tuple]:
+        """Pop the earliest pending heap entry at or before ``until``.
+
+        Returns the raw entry tuple — ``(time, priority, seq, event)`` or
+        ``(time, priority, seq, None, callback, args)`` — or None when the
+        queue is drained or the next pending entry lies beyond ``until``
+        (which is left in the heap).  This is the kernel's per-event
+        primitive: one fused heap walk that drops cancelled entries as it
+        goes, so the common case costs a single ``heappop`` and two
+        attribute compares with no peek/pop double scan.
+        """
+        heap = self._heap
+        pending = Event._PENDING
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event is None or event._state == pending:
+                if until is not None and head[0] > until:
+                    return None
+                self._live -= 1
+                return heapq.heappop(heap)
+            heapq.heappop(heap)
         self._live = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest pending event, if any."""
         heap = self._heap
-        while heap and not heap[0][3].pending:
+        pending = Event._PENDING
+        while heap:
+            event = heap[0][3]
+            if event is None or event._state == pending:
+                return heap[0][0]
             heapq.heappop(heap)
-        if not heap:
-            self._live = 0
-            return None
-        return heap[0][0]
+        self._live = 0
+        return None
 
     def note_cancelled(self) -> None:
         """Inform the queue that one live entry was cancelled externally.
@@ -187,7 +245,11 @@ class EventQueue:
             len(self._heap) > self._COMPACT_MIN
             and dead > len(self._heap) * self._COMPACT_RATIO
         ):
-            self._heap = [entry for entry in self._heap if entry[3].pending]
+            self._heap = [
+                entry
+                for entry in self._heap
+                if entry[3] is None or entry[3].pending
+            ]
             heapq.heapify(self._heap)
 
     def clear(self) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+import gc as _gc
 import time as _time
 
 from .errors import SchedulingError, SimulationStopped, WallClockExceeded
@@ -44,6 +45,14 @@ class Simulator:
         self.streams = RandomStreams(seed)
         self.trace = tracer if tracer is not None else NullTracer()
         self._queue = EventQueue()
+        #: Bound fast-path scheduler: ``push_at(time, callback, args_tuple,
+        #: priority=PRIORITY_NORMAL)`` — :meth:`EventQueue.push_plain`
+        #: without the :meth:`schedule_at` validation frame and without an
+        #: Event handle (the entry cannot be cancelled).  For hot callers
+        #: (the channel fan-out, arrival completion) whose times are
+        #: already known to be >= ``now`` and who never cancel; everything
+        #: else should keep using :meth:`schedule` / :meth:`schedule_at`.
+        self.push_at = self._queue.push_plain
         self._running = False
         self._stopped = False
         self.events_processed = 0
@@ -129,27 +138,32 @@ class Simulator:
         """
         self._running = True
         self._stopped = False
-        # Hot loop: hoist queue methods into locals and replace the modulo
-        # wall-clock gate with a countdown, so the per-event cost when no
-        # deadline is armed is one integer decrement and compare.
-        peek_time = self._queue.peek_time
-        pop = self._queue.pop
+        # Hot loop: one fused pop per event (see EventQueue.pop_entry_until),
+        # the firing state flip and callback inlined rather than dispatched
+        # through Event._fire, and the wall-clock gate a plain countdown —
+        # the per-event kernel overhead is one heappop plus bookkeeping.
+        pop_entry_until = self._queue.pop_entry_until
+        fired = Event._FIRED
         check_every = self._WALL_CHECK_EVERY
         countdown = check_every
+        events_processed = 0
+        # Pause the cyclic collector for the duration of the loop: the hot
+        # allocations (events, heap tuples, arrivals, frames) are acyclic
+        # and die by refcount, so generational scans only add per-event
+        # overhead.  The caller's collector state is restored on exit.
+        gc_was_enabled = _gc.isenabled()
+        if gc_was_enabled:
+            _gc.disable()
         wall_start = _time.perf_counter()
         try:
             while True:
-                next_time = peek_time()
-                if next_time is None:
+                entry = pop_entry_until(until)
+                if entry is None:
                     if until is not None and until > self.now:
                         self.now = until
                     break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                event = pop()
-                self.now = event.time
-                self.events_processed += 1
+                self.now = entry[0]
+                events_processed += 1
                 countdown -= 1
                 if countdown == 0:
                     countdown = check_every
@@ -157,18 +171,28 @@ class Simulator:
                         self._wall_deadline is not None
                         and _time.monotonic() > self._wall_deadline
                     ):
+                        self.events_processed += events_processed
+                        events_processed = 0
                         raise WallClockExceeded(
                             f"wall-clock budget exhausted at t={self.now:.3f}s "
                             f"({self.events_processed} events)"
                         )
-                event._fire()
+                event = entry[3]
+                if event is None:
+                    entry[4](*entry[5])
+                else:
+                    event._state = fired
+                    event.callback(*event.args)
                 if self._stopped:
                     break
         except SimulationStopped:
             pass
         finally:
             self._running = False
+            self.events_processed += events_processed
             self.wall_time_s += _time.perf_counter() - wall_start
+            if gc_was_enabled:
+                _gc.enable()
         return self.now
 
     def step(self) -> bool:

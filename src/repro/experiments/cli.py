@@ -31,11 +31,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_RUNNERS) + ["all", "ablations", "chaos", "table2", "report"],
+        choices=sorted(_RUNNERS) + ["all", "ablations", "chaos", "scale", "table2", "report"],
         help="figure or ablation to regenerate ('all' = paper figures, "
         "'ablations' = every ablation, 'chaos' = seeded fault-injection "
-        "robustness sweep, 'report' = rebuild EXPERIMENTS.md from the "
-        "--csv directory)",
+        "robustness sweep, 'scale' = wall-clock scaling sweep over node "
+        "count, 'report' = rebuild EXPERIMENTS.md from the --csv "
+        "directory)",
     )
     parser.add_argument(
         "--out",
@@ -161,6 +162,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+        return 0
+    if args.target == "scale":
+        from .scale import scale
+
+        data = scale(seeds=seeds, quick=args.quick, progress=progress)
+        print(format_figure(data))
+        if args.csv:
+            path = write_csv(data, Path(args.csv) / "scale.csv")
+            print(f"  csv: {path}")
         return 0
     if args.target == "all":
         targets = sorted(ALL_FIGURES)

@@ -38,11 +38,17 @@ class SlotTiming:
     def __post_init__(self) -> None:
         if self.omega_s <= 0 or self.tau_max_s <= 0:
             raise ValueError("omega and tau_max must be positive")
+        # Slot width is derived state queried on every slot computation
+        # (tens of thousands of times per run via quiet rules and schedule
+        # tracking), so it is computed once here; object.__setattr__ is the
+        # frozen-dataclass idiom for caches, and non-field attributes stay
+        # out of equality/hash.
+        object.__setattr__(self, "_slot_s", self.omega_s + self.tau_max_s)
 
     @property
     def slot_s(self) -> float:
         """|ts| = omega + tau_max."""
-        return self.omega_s + self.tau_max_s
+        return self._slot_s
 
     # ------------------------------------------------------------------
     # Grid navigation
@@ -51,13 +57,13 @@ class SlotTiming:
         """Absolute start time of slot ``index`` (grid anchored at t=0)."""
         if index < 0:
             raise ValueError("slot index must be non-negative")
-        return index * self.slot_s
+        return index * self._slot_s
 
     def slot_index(self, time: float) -> int:
         """Index of the slot containing ``time``."""
         if time < 0:
             raise ValueError("time must be non-negative")
-        return int(math.floor((time + EPS) / self.slot_s))
+        return int(math.floor((time + EPS) / self._slot_s))
 
     def next_slot_index(self, time: float) -> int:
         """Index of the first slot starting at or after ``time``."""

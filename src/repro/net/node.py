@@ -98,17 +98,19 @@ class Node:
 
     @position.setter
     def position(self, value: Position) -> None:
-        """Move the node, bumping the channel's position epoch.
+        """Move the node, bumping **this node's** position epoch.
 
         Every movement path (mobility models, tests poking positions)
         funnels through this setter, so cached pairwise link state can
-        never go stale.  Assigning an equal position — e.g. a static-model
-        step re-clamped to the same point — is not a move and keeps the
-        cache warm.
+        never go stale.  Passing the node id bumps only this node's epoch
+        in the channel's per-node-epoch link cache: every pair not touching
+        this node stays warm across the move.  Assigning an equal position
+        — e.g. a static-model step re-clamped to the same point — is not a
+        move and keeps the cache warm.
         """
         if value != self._position:
             self._position = value
-            self._channel.note_position_change()
+            self._channel.note_position_change(self.node_id)
 
     # ------------------------------------------------------------------
     # Application-side interface

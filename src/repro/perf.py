@@ -34,6 +34,9 @@ class PerfReport:
         out_of_range_skips: Receivers skipped as unreachable.
         cache_hits: Link-state cache lookups served from cache.
         cache_misses: Link-state cache lookups that recomputed geometry.
+        vector_batches: Vectorized kernel passes (row builds + refreshes).
+        rows_refreshed: Stale link-state rows partially recomputed (0 on a
+            fully static run — every row is built once and stays warm).
     """
 
     sim_time_s: float
@@ -44,6 +47,8 @@ class PerfReport:
     out_of_range_skips: int
     cache_hits: int
     cache_misses: int
+    vector_batches: int = 0
+    rows_refreshed: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -80,6 +85,8 @@ class PerfReport:
             out_of_range_skips=channel_stats.out_of_range_skips,
             cache_hits=channel_stats.cache_hits,
             cache_misses=channel_stats.cache_misses,
+            vector_batches=channel_stats.vector_batches,
+            rows_refreshed=channel_stats.rows_refreshed,
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -96,6 +103,8 @@ class PerfReport:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "vector_batches": self.vector_batches,
+            "rows_refreshed": self.rows_refreshed,
             "speedup_factor": self.speedup_factor,
         }
 
@@ -110,6 +119,8 @@ class PerfReport:
             f"out-of-range skips: {self.out_of_range_skips:,}",
             f"link cache: {self.cache_hits:,} hits / {self.cache_misses:,} misses "
             f"({self.cache_hit_rate:.1%} hit rate)",
+            f"vector kernel: {self.vector_batches:,} batches, "
+            f"{self.rows_refreshed:,} rows refreshed",
         ]
 
 
@@ -135,6 +146,8 @@ class PerfAccumulator:
             "out_of_range_skips",
             "cache_hits",
             "cache_misses",
+            "vector_batches",
+            "rows_refreshed",
         ):
             self._totals[key] = self._totals.get(key, 0) + getattr(report, key)
 
@@ -150,6 +163,8 @@ class PerfAccumulator:
             out_of_range_skips=int(totals.get("out_of_range_skips", 0)),
             cache_hits=int(totals.get("cache_hits", 0)),
             cache_misses=int(totals.get("cache_misses", 0)),
+            vector_batches=int(totals.get("vector_batches", 0)),
+            rows_refreshed=int(totals.get("rows_refreshed", 0)),
         )
 
     def summary_lines(self) -> List[str]:

@@ -39,9 +39,13 @@ DEFAULT_RANGE_M = 1500.0
 class ChannelStats:
     """Aggregate channel counters.
 
-    ``cache_hits`` / ``cache_misses`` count link-state cache lookups (both
+    ``cache_hits`` / ``cache_misses`` count link-state pair lookups (both
     stay 0 when the cache is disabled); their ratio is the headline number
-    of the perf instrumentation layer.
+    of the perf instrumentation layer.  ``vector_batches`` counts vectorized
+    kernel passes (row builds plus partial refreshes) and ``rows_refreshed``
+    counts stale rows brought back up to date — a static cell shows builds
+    only (``rows_refreshed == 0``) while a mobile cell accumulates refreshes
+    every mobility tick.
     """
 
     broadcasts: int = 0
@@ -49,6 +53,8 @@ class ChannelStats:
     out_of_range_skips: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    vector_batches: int = 0
+    rows_refreshed: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -139,17 +145,20 @@ class AcousticChannel:
             raise ValueError(f"node id {node_id} already registered")
         modem = AcousticModem(self.sim, node_id, self)
         self._members[node_id] = (modem, position_fn)
-        self.note_position_change()
+        if self.link_cache is not None:
+            self.link_cache.add_node(node_id)
         return modem
 
-    def note_position_change(self) -> None:
-        """Invalidate cached link state (a node moved or was registered).
+    def note_position_change(self, node_id: Optional[int] = None) -> None:
+        """Invalidate cached link state for a moved node.
 
-        Cheap (one integer bump) and idempotent within an epoch's lazy
-        rebuild, so callers may invoke it once per moved node.
+        With a ``node_id`` only that node's epoch bumps, so every pair not
+        touching it stays warm (the point of per-node epochs); with ``None``
+        every epoch bumps and all positions are re-read — the conservative
+        form for callers that mutated positions out-of-band.
         """
         if self.link_cache is not None:
-            self.link_cache.invalidate()
+            self.link_cache.invalidate(node_id)
 
     def position_of(self, node_id: int) -> Position:
         """Current position of a registered node."""
@@ -198,63 +207,66 @@ class AcousticChannel:
 
     # ------------------------------------------------------------------
     def broadcast(self, tx_modem: AcousticModem, frame: Frame, duration_s: float) -> None:
-        """Deliver ``frame`` to every modem in range, after propagation."""
+        """Deliver ``frame`` to every modem in range, after propagation.
+
+        Both paths produce an identical in-reach target list — the cached
+        one from the vector kernel's precomputed per-row fan-out, the
+        uncached one from a fresh scalar scan — and hand it to the shared
+        :meth:`_fan_out`, so Arrival construction and scheduling cannot
+        diverge between them.
+        """
         self.stats.broadcasts += 1
         tx_id = tx_modem.node_id
-        now = self.sim.now
         cache = self.link_cache
         if cache is not None:
-            stats = self.stats
-            schedule = self.sim.schedule
-            for node_id, (modem, _pos_fn) in self._members.items():
-                if node_id == tx_id:
-                    continue
-                link = cache.link(tx_id, node_id)
-                if not link.in_reach:
-                    stats.out_of_range_skips += 1
-                    continue
-                delay = link.delay_s
-                level = link.level_db
-                if self._fading_active:
-                    level += self.fading.fade_db((tx_id, node_id), now)
-                arrival = Arrival(
-                    frame=frame,
-                    src=tx_id,
-                    start=now + delay,
-                    end=now + delay + duration_s,
-                    level_db=level,
-                    delay_s=delay,
-                )
-                stats.deliveries += 1
-                # High priority so arrivals register before same-instant MAC logic.
-                schedule(delay, modem.begin_arrival, arrival, priority=PRIORITY_HIGH)
+            row = cache.broadcast_row(tx_id)
+            targets = cache.deliveries(row)
+            self.stats.out_of_range_skips += row.skips
+            self._fan_out(tx_id, frame, duration_s, targets)
             return
         tx_pos = self.position_of(tx_id)
         reach = self.max_range_m * self.interference_range_factor
+        targets = []
+        skips = 0
         for node_id, (modem, pos_fn) in self._members.items():
             if node_id == tx_id:
                 continue
             rx_pos = pos_fn()
             distance = tx_pos.distance_to(rx_pos)
             if distance > reach:
-                self.stats.out_of_range_skips += 1
+                skips += 1
                 continue
-            pair = (tx_id, node_id)
-            delay = self.propagation.delay_s(tx_pos, rx_pos, pair=pair)
-            level = self.link_budget.received_level_db(distance)
-            if self._fading_active:
-                level += self.fading.fade_db(pair, now)
-            arrival = Arrival(
-                frame=frame,
-                src=tx_id,
-                start=now + delay,
-                end=now + delay + duration_s,
-                level_db=level,
-                delay_s=delay,
+            targets.append(
+                (
+                    node_id,
+                    modem,
+                    self.propagation.delay_s(tx_pos, rx_pos, pair=(tx_id, node_id)),
+                    self.link_budget.received_level_db(distance),
+                )
             )
-            self.stats.deliveries += 1
+        self.stats.out_of_range_skips += skips
+        self._fan_out(tx_id, frame, duration_s, targets)
+
+    def _fan_out(
+        self,
+        tx_id: int,
+        frame: Frame,
+        duration_s: float,
+        targets: "list[Tuple[int, AcousticModem, float, float]]",
+    ) -> None:
+        """Schedule one Arrival per in-reach target ``(id, modem, delay, level)``."""
+        now = self.sim.now
+        stats = self.stats
+        push_at = self.sim.push_at
+        fading_active = self._fading_active
+        for node_id, modem, delay, level in targets:
+            if fading_active:
+                level += self.fading.fade_db((tx_id, node_id), now)
+            start = now + delay
+            arrival = Arrival(frame, tx_id, start, start + duration_s, level, delay)
             # High priority so arrivals register before same-instant MAC logic.
-            self.sim.schedule(delay, modem.begin_arrival, arrival, priority=PRIORITY_HIGH)
+            push_at(start, modem.begin_arrival, (arrival,), PRIORITY_HIGH)
+        stats.deliveries += len(targets)
 
     # ------------------------------------------------------------------
     def max_propagation_delay_s(self) -> float:

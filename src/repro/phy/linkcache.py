@@ -1,27 +1,37 @@
-"""Epoch-invalidated cache of pairwise link state.
+"""Link-state cache facade with **per-node** position epochs.
 
 Every MAC handshake (RTS/CTS/Data/Ack plus EW-MAC's EXR/EXC/EXData/EXAck)
 triggers an :class:`~repro.phy.channel.AcousticChannel.broadcast` that
 needs, per receiver, the pair's distance, propagation delay and received
 level — and depth routing asks for neighbour sets per packet.  All of that
-is pure geometry: it only changes when a node actually moves.  Table 2
-deployments are static between mobility ticks (and entirely static with
-``mobility=False``), so the channel recomputed identical ``sqrt`` /
-``log10`` chains tens of thousands of times per 300 s cell.
+is pure geometry: it only changes when a node actually moves.
 
-:class:`LinkStateCache` memoizes the full link state per *ordered* node
-pair, lazily, and invalidates on a **position epoch** counter:
+The first cache generation invalidated on a single *global* epoch: any
+movement anywhere discarded every cached pair, so a mobility tick that
+moved a handful of nodes still forced the whole deployment cold (~25% hit
+rate on mobile Table 2 cells).  This generation keeps **one epoch per
+node** inside a NumPy struct-of-arrays kernel
+(:class:`~repro.phy.vectorized.VectorLinkKernel`):
 
-* :meth:`~repro.net.node.Node`'s position setter bumps the epoch whenever
-  a node's position actually changes (the
-  :class:`~repro.topology.mobility.MobilityManager` routes every movement
-  through it), so static deployments compute each pair exactly once;
-* registering a new modem also bumps the epoch, so topology growth is
-  reflected immediately, matching the uncached semantics.
+* a pair's cached entry records ``epoch[tx] + epoch[rx]`` at compute time;
+  epochs are monotonic, so the stamp matches the current sum *iff neither
+  endpoint has moved* — un-moved pairs stay warm across mobility ticks;
+* :meth:`~repro.net.node.Node`'s position setter bumps only the moved
+  node's epoch (the :class:`~repro.topology.mobility.MobilityManager`
+  routes every movement through it), so static deployments compute each
+  pair exactly once and mobile ones recompute exactly the moved
+  rows/columns;
+* registering a new modem appends to the kernel arrays and bumps the
+  aggregate epoch, so topology growth is reflected immediately, matching
+  the uncached semantics;
+* a per-row ``total_epoch`` snapshot gives broadcasts an O(1) "nothing
+  anywhere moved" fast path before any per-pair staleness check.
 
-Ordered (rather than unordered) pair keys keep results bit-identical with
-the uncached path: :meth:`PropagationModel.delay_s` receives ``pair=(a, b)``
-in exactly the order the uncached code passed it.
+Directed (tx, rx) ordering is preserved throughout — rows are per
+transmitter and :meth:`PropagationModel.delay_s` still receives
+``pair=(tx, rx)`` in exactly the order the uncached code passed it — which
+keeps results bit-identical with the uncached path (gated by the
+equivalence-matrix and Hypothesis property tests).
 
 Liveness (``modem.enabled``) is deliberately *not* part of the cached
 state: failure injection flips it without moving anyone, so neighbour
@@ -30,10 +40,11 @@ queries filter on it at read time instead of invalidating geometry.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..acoustic.geometry import Position
 from ..acoustic.sinr import LinkBudget
+from .vectorized import RowState, VectorLinkKernel
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..acoustic.propagation import PropagationModel
@@ -42,7 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class LinkState:
-    """Cached geometry-derived state of one directed link.
+    """Geometry-derived state of one directed link (a scalar view).
 
     Attributes:
         distance_m: Euclidean distance between the pair.
@@ -73,27 +84,19 @@ class LinkState:
 
 
 class LinkStateCache:
-    """Lazy per-pair link state, invalidated by a position epoch counter.
+    """Facade exposing the vector kernel under the original cache API.
 
     The cache shares the channel's live member registry (``node_id ->
-    (modem, position_fn)``), so late modem registrations are visible; the
-    channel bumps :attr:`epoch` via :meth:`invalidate` whenever positions
-    or membership change.  Hits and misses are counted into the owning
-    channel's :class:`~repro.phy.channel.ChannelStats` for the perf layer.
+    (modem, position_fn)``); the channel reports movement through
+    :meth:`invalidate` (per node, or globally with ``None``) and
+    registration through :meth:`add_node`.  Hits and misses are counted
+    into the owning channel's :class:`~repro.phy.channel.ChannelStats` for
+    the perf layer, now with whole-row granularity: a broadcast whose row
+    is warm counts ``n - 1`` hits, a refresh counts one miss per stale
+    pair and one hit per still-warm pair.
     """
 
-    __slots__ = (
-        "_members",
-        "_propagation",
-        "_link_budget",
-        "_max_range_m",
-        "_reach_m",
-        "_stats",
-        "epoch",
-        "_cache_epoch",
-        "_links",
-        "_in_range",
-    )
+    __slots__ = ("_kernel",)
 
     def __init__(
         self,
@@ -104,66 +107,54 @@ class LinkStateCache:
         reach_m: float,
         stats: "ChannelStats",
     ) -> None:
-        self._members = members
-        self._propagation = propagation
-        self._link_budget = link_budget
-        self._max_range_m = max_range_m
-        self._reach_m = reach_m
-        self._stats = stats
-        #: Bumped by the channel on movement/registration; compared against
-        #: the epoch the cached entries were computed under.
-        self.epoch = 0
-        self._cache_epoch = 0
-        self._links: Dict[Tuple[int, int], LinkState] = {}
-        self._in_range: Dict[int, Tuple[int, ...]] = {}
+        self._kernel = VectorLinkKernel(
+            members, propagation, link_budget, max_range_m, reach_m, stats
+        )
+
+    @property
+    def epoch(self) -> int:
+        """Aggregate position epoch (sum of all per-node bumps)."""
+        return self._kernel.total_epoch
 
     # ------------------------------------------------------------------
-    def invalidate(self) -> None:
-        """Note that some position (or the member set) changed."""
-        self.epoch += 1
+    def invalidate(self, node_id: Optional[int] = None) -> None:
+        """Note that ``node_id`` moved, or with ``None`` that any position
+        may have changed (every node's epoch bumps, positions re-read)."""
+        self._kernel.invalidate(node_id)
 
-    def _sync(self) -> None:
-        if self._cache_epoch != self.epoch:
-            self._links.clear()
-            self._in_range.clear()
-            self._cache_epoch = self.epoch
+    def add_node(self, node_id: int) -> None:
+        """Register a newly created modem's node with the kernel."""
+        self._kernel.add_node(node_id)
 
     # ------------------------------------------------------------------
     def link(self, tx: int, rx: int) -> LinkState:
-        """Link state for the directed pair, computed at most once per epoch."""
-        self._sync()
-        key = (tx, rx)
-        state = self._links.get(key)
-        if state is None:
-            self._stats.cache_misses += 1
-            members = self._members
-            tx_pos = members[tx][1]()
-            rx_pos = members[rx][1]()
-            distance = tx_pos.distance_to(rx_pos)
-            state = LinkState(
-                distance,
-                self._propagation.delay_s(tx_pos, rx_pos, pair=key),
-                self._link_budget.received_level_db(distance),
-                distance <= self._reach_m,
-                distance <= self._max_range_m,
-            )
-            self._links[key] = state
-        else:
-            self._stats.cache_hits += 1
-        return state
+        """Link state for the directed pair (served from the tx's row)."""
+        kernel = self._kernel
+        row = kernel.row(tx)
+        j = kernel.index_of(rx)
+        return LinkState(
+            float(row.distance_m[j]),
+            float(row.delay_s[j]),
+            float(row.level_db[j]),
+            bool(row.in_reach[j]),
+            bool(row.in_decode[j]),
+        )
 
     def in_range_ids(self, node_id: int) -> Tuple[int, ...]:
         """Ids inside decode range of ``node_id`` (liveness *not* applied).
 
         Preserves the member-registration order the uncached scan produced.
         """
-        self._sync()
-        ids = self._in_range.get(node_id)
-        if ids is None:
-            ids = tuple(
-                other
-                for other in self._members
-                if other != node_id and self.link(node_id, other).in_decode_range
-            )
-            self._in_range[node_id] = ids
-        return ids
+        kernel = self._kernel
+        return kernel.decode_ids(kernel.row(node_id))
+
+    # ------------------------------------------------------------------
+    def broadcast_row(self, tx_id: int) -> RowState:
+        """Fresh whole-row link state for a transmission (hot path)."""
+        return self._kernel.row(tx_id)
+
+    def deliveries(
+        self, row: RowState
+    ) -> List[Tuple[int, "AcousticModem", float, float]]:
+        """In-reach fan-out list ``(rx_id, modem, delay_s, level_db)``."""
+        return self._kernel.deliveries(row)

@@ -121,6 +121,21 @@ class AcousticModem:
         self.tx_enabled = True
         self.rx_enabled = True
         self.stats = ModemStats()
+        # The tracer is fixed at Simulator construction, so its enabled flag
+        # can be cached: every emit call site below evaluates its arguments
+        # (``frame.describe()`` string building in particular) eagerly, and
+        # the receive path emits once per arrival — guarding on a cached
+        # bool keeps disabled-trace runs from paying for any of it.
+        self._trace = sim.trace
+        self._trace_on = sim.trace.enabled
+        # The channel's collaborators are fixed before any modem exists
+        # (the PER model is built in the channel constructor), so the
+        # decode path — run once per arrival — reads them through locals
+        # cached here instead of three attribute chains per decode.
+        self._link_budget = channel.link_budget
+        self._per_model = channel.per_model
+        self._per_rng = channel.per_rng
+        self._push_at = sim.push_at
         self.on_receive: Optional[Callable[[Frame, Arrival], None]] = None
         self.on_rx_failure: Optional[Callable[[Arrival, RxOutcome], None]] = None
         self._tx_intervals: List[_TxInterval] = []
@@ -140,9 +155,15 @@ class AcousticModem:
     # ------------------------------------------------------------------
     @property
     def transmitting(self) -> bool:
-        """True while a transmission is on the wire."""
-        now = self.sim.now
-        return any(iv.start <= now < iv.end for iv in self._tx_intervals)
+        """True while a transmission is on the wire.
+
+        Transmissions are serialized (:meth:`transmit` refuses to overlap)
+        and simulation time never runs backwards, so "inside any interval"
+        reduces to "before the end of the latest one": earlier intervals
+        ended at or before the latest one started, and a query can never
+        precede the latest interval's start.
+        """
+        return self.sim.now < self._last_tx_end
 
     def tx_end_time(self) -> float:
         """End time of the latest transmission (or 0.0 if none yet)."""
@@ -167,9 +188,10 @@ class AcousticModem:
             # Unlike a dead modem this is not a protocol bug — the MAC's
             # own retry/timeout machinery is expected to absorb it.
             self.stats.tx_suppressed += 1
-            self.sim.trace.emit(
-                self.sim.now, "phy.tx_suppressed", self.node_id, frame=frame.describe()
-            )
+            if self._trace_on:
+                self._trace.emit(
+                    self.sim.now, "phy.tx_suppressed", self.node_id, frame=frame.describe()
+                )
             return 0.0
         duration = frame.duration_s(self.channel.bitrate_bps)
         frame.timestamp = self.sim.now
@@ -181,9 +203,10 @@ class AcousticModem:
         self.stats.tx_frames += 1
         self.stats.tx_bits += frame.size_bits
         self.stats.tx_time_s += duration
-        self.sim.trace.emit(
-            self.sim.now, "phy.tx", self.node_id, frame=frame.describe(), dur=round(duration, 6)
-        )
+        if self._trace_on:
+            self._trace.emit(
+                self.sim.now, "phy.tx", self.node_id, frame=frame.describe(), dur=round(duration, 6)
+            )
         self.channel.broadcast(self, frame, duration)
         return duration
 
@@ -198,15 +221,20 @@ class AcousticModem:
             self.stats.rx_outage += 1
             return
         self._arrivals.append(arrival)
-        duration = arrival.end - arrival.start
+        end = arrival.end
+        duration = end - arrival.start
         if duration > self._max_duration_s:
             self._max_duration_s = duration
         # Accumulate receiver-busy time as interval union (overlaps counted once).
-        busy_from = max(arrival.start, self._rx_busy_until)
-        if arrival.end > busy_from:
-            self.stats.rx_busy_time_s += arrival.end - busy_from
-            self._rx_busy_until = arrival.end
-        self.sim.schedule_at(arrival.end, self._finish_arrival, arrival)
+        busy_from = self._rx_busy_until
+        if busy_from < arrival.start:
+            busy_from = arrival.start
+        if end > busy_from:
+            self.stats.rx_busy_time_s += end - busy_from
+            self._rx_busy_until = end
+        # Fast-path push: the end time is trivially >= now, so the
+        # schedule_at validation wrapper adds nothing but a call frame.
+        self._push_at(end, self._finish_arrival, (arrival,))
 
     def _finish_arrival(self, arrival: Arrival) -> None:
         if not self.enabled or not self.rx_enabled:
@@ -215,22 +243,24 @@ class AcousticModem:
             # runs — where both flags are always True — are untouched.
             self.stats.rx_outage += 1
             self._prune_arrivals()
-            self.sim.trace.emit(
-                self.sim.now,
-                "phy.rx_fail",
-                self.node_id,
-                frame=arrival.frame.describe(),
-                why=RxOutcome.OFFLINE.value,
-            )
+            if self._trace_on:
+                self._trace.emit(
+                    self.sim.now,
+                    "phy.rx_fail",
+                    self.node_id,
+                    frame=arrival.frame.describe(),
+                    why=RxOutcome.OFFLINE.value,
+                )
             return
         outcome = self._decode_outcome(arrival)
         self._prune_arrivals()
         if outcome is RxOutcome.OK:
             self.stats.rx_ok += 1
             self.stats.rx_ok_bits += arrival.frame.size_bits
-            self.sim.trace.emit(
-                self.sim.now, "phy.rx", self.node_id, frame=arrival.frame.describe()
-            )
+            if self._trace_on:
+                self._trace.emit(
+                    self.sim.now, "phy.rx", self.node_id, frame=arrival.frame.describe()
+                )
             if self.on_receive is not None:
                 self.on_receive(arrival.frame, arrival)
         else:
@@ -240,35 +270,36 @@ class AcousticModem:
                 self.stats.rx_collision += 1
             else:
                 self.stats.rx_noise += 1
-            self.sim.trace.emit(
-                self.sim.now,
-                "phy.rx_fail",
-                self.node_id,
-                frame=arrival.frame.describe(),
-                why=outcome.value,
-            )
+            if self._trace_on:
+                self._trace.emit(
+                    self.sim.now,
+                    "phy.rx_fail",
+                    self.node_id,
+                    frame=arrival.frame.describe(),
+                    why=outcome.value,
+                )
             if self.on_rx_failure is not None:
                 self.on_rx_failure(arrival, outcome)
 
     def _decode_outcome(self, arrival: Arrival) -> RxOutcome:
+        a_start = arrival.start
+        a_end = arrival.end
         # Half-duplex: any own transmission overlapping the arrival kills it.
         for iv in self._tx_intervals:
-            if iv.start < arrival.end and iv.end > arrival.start:
+            if iv.start < a_end and iv.end > a_start:
                 return RxOutcome.HALF_DUPLEX
         interferer_levels = [
             other.level_db
             for other in self._arrivals
-            if other is not arrival
-            and other.start < arrival.end
-            and other.end > arrival.start
+            if other is not arrival and other.start < a_end and other.end > a_start
         ]
-        sinr_db = self.channel.link_budget.sinr_db_from_levels(
+        sinr_db = self._link_budget.sinr_db_from_levels(
             arrival.level_db,
             interferer_levels,
             extra_noise_db=self.channel.extra_noise_db,
         )
-        draw = self.channel.per_rng.random()
-        ok = self.channel.per_model.is_successful(sinr_db, arrival.frame.size_bits, draw)
+        draw = self._per_rng.random()
+        ok = self._per_model.is_successful(sinr_db, arrival.frame.size_bits, draw)
         if ok:
             return RxOutcome.OK
         return RxOutcome.COLLISION if interferer_levels else RxOutcome.NOISE

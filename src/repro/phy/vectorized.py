@@ -1,0 +1,366 @@
+"""NumPy struct-of-arrays broadcast kernel with per-node position epochs.
+
+The per-receiver Python loop in :meth:`AcousticChannel.broadcast` was the
+simulator's residual hot spot after the link-state cache PR: every
+transmission walked the member dict, looked each ordered pair up in a hash
+map, and on every 5 s mobility tick the *whole* cache was discarded even
+though only the moved nodes' links changed (~25% hit rate on mobile Table 2
+cells).  This module replaces the per-pair storage with contiguous
+struct-of-arrays state so that one transmission computes distance,
+propagation delay, received level and in-reach masks for *all* receivers in
+a single vectorized pass, and replaces the global position epoch with
+**per-node epochs** so un-moved pairs stay warm across mobility ticks.
+
+Layout
+------
+:class:`VectorLinkKernel` keeps, in registration order (which is also the
+member-dict iteration order the scalar path used):
+
+* ``xs / ys / zs`` — node coordinates as float64 arrays;
+* ``epoch`` — one int64 counter per node, bumped when *that* node moves;
+* ``total_epoch`` — the sum of all bumps, used as an O(1) "did anything
+  move since this row was refreshed?" check per broadcast;
+* per-transmitter :class:`RowState` rows holding the pair's distance,
+  delay, level, reach/decode masks and a per-pair epoch **stamp**.
+
+A pair's stamp records ``epoch[tx] + epoch[rx]`` at compute time.  Epochs
+are monotonic, so the stamp equals the current sum *iff neither endpoint
+moved* — a mobility tick therefore dirties exactly the moved rows/columns
+and a row refresh recomputes only its stale entries, vectorized.
+
+Bit-identity
+------------
+Results are bit-identical with the scalar uncached path (gated by the
+equivalence matrix and property tests): subtraction, multiplication,
+``sqrt`` and division round identically in NumPy and CPython, distances are
+squared with explicit multiplies on both paths (see
+:meth:`Position.distance_to`), and the one operation NumPy's SIMD kernels
+are allowed to round differently — ``log10`` — stays on libm inside
+:meth:`PathLossModel.path_loss_db_batch`.  Propagation models whose delay
+is not a pure function of geometry fall back to a scalar per-pair loop in
+:meth:`PropagationModel.delay_s_batch`, which is bit-identical by
+construction.
+
+Memory
+------
+Row storage is bounded: at most ``row_budget_entries`` cached pair entries
+(~`budget * 33` bytes).  Beyond that — thousand-node ``scale`` sweeps —
+rows are evicted least-recently-used; recomputing an evicted row is one
+vectorized pass, not a per-pair scalar walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..acoustic.geometry import Position
+from ..acoustic.sinr import LinkBudget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..acoustic.propagation import PropagationModel
+    from .channel import ChannelStats
+    from .modem import AcousticModem
+
+#: Default cap on cached pair entries across all rows (~130 MB worst case).
+DEFAULT_ROW_BUDGET_ENTRIES = 4_000_000
+
+
+class RowState:
+    """One transmitter's link state against every registered receiver.
+
+    Attributes:
+        n: Member count the row was sized for (a membership change makes
+            the row unusable and it is rebuilt from scratch).
+        total_epoch: Kernel ``total_epoch`` at the last freshness check —
+            when it still matches, nothing anywhere moved and the row is
+            served without touching any array.
+        stamp: Per-pair epoch sums at compute time (staleness detector).
+        distance_m / delay_s / level_db: Pair scalars, aligned with the
+            registration order.
+        in_reach: Delivery reach mask (decode range × interference factor).
+        in_decode: Hard communication-range mask (neighbour relation).
+        deliveries: Lazily built broadcast fan-out list of
+            ``(rx_id, modem, delay_s, level_db)`` for in-reach receivers,
+            in registration order; invalidated by any refresh.
+        skips: Out-of-reach receiver count backing the channel's
+            ``out_of_range_skips`` counter (valid once ``deliveries`` is).
+        decode_ids: Lazily built tuple of in-decode-range node ids.
+    """
+
+    __slots__ = (
+        "n",
+        "total_epoch",
+        "stamp",
+        "distance_m",
+        "delay_s",
+        "level_db",
+        "in_reach",
+        "in_decode",
+        "deliveries",
+        "skips",
+        "decode_ids",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.total_epoch = -1
+        self.stamp: Optional[np.ndarray] = None
+        self.distance_m = np.empty(n, dtype=np.float64)
+        self.delay_s = np.empty(n, dtype=np.float64)
+        self.level_db = np.empty(n, dtype=np.float64)
+        self.in_reach = np.zeros(n, dtype=bool)
+        self.in_decode = np.zeros(n, dtype=bool)
+        self.deliveries: Optional[List[Tuple[int, "AcousticModem", float, float]]] = None
+        self.skips = 0
+        self.decode_ids: Optional[Tuple[int, ...]] = None
+
+
+class VectorLinkKernel:
+    """Struct-of-arrays link-state store with per-node position epochs."""
+
+    __slots__ = (
+        "_members",
+        "_propagation",
+        "_link_budget",
+        "_max_range_m",
+        "_reach_m",
+        "_stats",
+        "_ids",
+        "_index",
+        "_xs",
+        "_ys",
+        "_zs",
+        "_epoch",
+        "_ids_arr",
+        "_n",
+        "total_epoch",
+        "_rows",
+        "_row_budget",
+        "_max_rows",
+        "_lru_active",
+    )
+
+    def __init__(
+        self,
+        members: Dict[int, Tuple["AcousticModem", Callable[[], Position]]],
+        propagation: "PropagationModel",
+        link_budget: LinkBudget,
+        max_range_m: float,
+        reach_m: float,
+        stats: "ChannelStats",
+        row_budget_entries: int = DEFAULT_ROW_BUDGET_ENTRIES,
+    ) -> None:
+        self._members = members
+        self._propagation = propagation
+        self._link_budget = link_budget
+        self._max_range_m = max_range_m
+        self._reach_m = reach_m
+        self._stats = stats
+        self._ids: List[int] = []
+        self._index: Dict[int, int] = {}
+        capacity = 64
+        self._xs = np.empty(capacity, dtype=np.float64)
+        self._ys = np.empty(capacity, dtype=np.float64)
+        self._zs = np.empty(capacity, dtype=np.float64)
+        self._epoch = np.zeros(capacity, dtype=np.int64)
+        self._ids_arr = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+        #: Monotonic sum of every per-node epoch bump (plus registrations);
+        #: rows compare against it for the O(1) nothing-moved fast path.
+        self.total_epoch = 0
+        self._rows: "OrderedDict[int, RowState]" = OrderedDict()
+        self._row_budget = row_budget_entries
+        self._max_rows = row_budget_entries
+        self._lru_active = False
+        for node_id in members:
+            self.add_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Membership and movement
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int) -> None:
+        """Register a node, growing the coordinate arrays.
+
+        Bumps :attr:`total_epoch` so cached neighbour sets recompute, and
+        existing rows (sized for the old member count) rebuild on next use
+        — matching the uncached path, where a freshly registered modem is
+        visible to the very next query.
+        """
+        if node_id in self._index:
+            return
+        idx = self._n
+        if idx == len(self._xs):
+            self._grow()
+        pos = self._members[node_id][1]()
+        self._xs[idx] = pos.x
+        self._ys[idx] = pos.y
+        self._zs[idx] = pos.z
+        self._epoch[idx] = 0
+        self._ids_arr[idx] = node_id
+        self._ids.append(node_id)
+        self._index[node_id] = idx
+        self._n = idx + 1
+        self.total_epoch += 1
+        self._max_rows = max(16, self._row_budget // self._n)
+        self._lru_active = self._n > self._max_rows
+
+    def _grow(self) -> None:
+        capacity = len(self._xs) * 2
+        for name in ("_xs", "_ys", "_zs", "_epoch", "_ids_arr"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            if name == "_epoch":
+                fresh[self._n :] = 0
+            setattr(self, name, fresh)
+
+    def invalidate(self, node_id: Optional[int] = None) -> None:
+        """Note that ``node_id`` moved (or, with ``None``, that anything
+        may have: every epoch bumps and every position is re-read)."""
+        if node_id is None:
+            n = self._n
+            members = self._members
+            ids = self._ids
+            for idx in range(n):
+                pos = members[ids[idx]][1]()
+                self._xs[idx] = pos.x
+                self._ys[idx] = pos.y
+                self._zs[idx] = pos.z
+            self._epoch[:n] += 1
+            self.total_epoch += 1
+            return
+        idx = self._index[node_id]
+        pos = self._members[node_id][1]()
+        self._xs[idx] = pos.x
+        self._ys[idx] = pos.y
+        self._zs[idx] = pos.z
+        self._epoch[idx] += 1
+        self.total_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, node_id: int) -> RowState:
+        """Fresh link-state row for transmitter ``node_id``.
+
+        Fast path — nothing anywhere moved since the last check — is two
+        integer comparisons.  Otherwise stale pairs are recomputed in one
+        vectorized pass over exactly the dirty entries.
+        """
+        idx = self._index[node_id]
+        rows = self._rows
+        row = rows.get(idx)
+        n = self._n
+        stats = self._stats
+        if row is not None and row.n == n:
+            if self._lru_active:
+                rows.move_to_end(idx)
+            if row.total_epoch == self.total_epoch:
+                stats.cache_hits += n - 1
+                return row
+            self._refresh(idx, row)
+            return row
+        if row is not None:
+            del rows[idx]
+        row = self._build(idx)
+        rows[idx] = row
+        if self._lru_active and len(rows) > self._max_rows:
+            rows.popitem(last=False)
+        return row
+
+    def _compute(self, idx: int, row: RowState, targets: np.ndarray) -> None:
+        """Vectorized pass filling ``row`` at ``targets`` (member indices)."""
+        xs, ys, zs = self._xs, self._ys, self._zs
+        x0, y0, z0 = xs[idx], ys[idx], zs[idx]
+        dx = xs[targets] - x0
+        dy = ys[targets] - y0
+        dz = zs[targets] - z0
+        dist = np.sqrt(dx * dx + dy * dy + dz * dz)
+        origin = Position(float(x0), float(y0), float(z0))
+        row.distance_m[targets] = dist
+        row.delay_s[targets] = self._propagation.delay_s_batch(
+            origin,
+            xs[targets],
+            ys[targets],
+            zs[targets],
+            dist,
+            self._ids[idx],
+            self._ids_arr[targets],
+        )
+        row.level_db[targets] = self._link_budget.received_level_db_batch(dist)
+        row.in_reach[targets] = dist <= self._reach_m
+        row.in_decode[targets] = dist <= self._max_range_m
+        # The self pair is never delivered to and never queried.
+        row.in_reach[idx] = False
+        row.in_decode[idx] = False
+        row.deliveries = None
+        row.decode_ids = None
+        self._stats.vector_batches += 1
+
+    def _build(self, idx: int) -> RowState:
+        n = self._n
+        row = RowState(n)
+        self._compute(idx, row, np.arange(n))
+        row.stamp = self._epoch[idx] + self._epoch[:n]
+        row.total_epoch = self.total_epoch
+        self._stats.cache_misses += n - 1
+        return row
+
+    def _refresh(self, idx: int, row: RowState) -> None:
+        n = self._n
+        expected = self._epoch[idx] + self._epoch[:n]
+        stale = row.stamp != expected
+        stale[idx] = False
+        dirty = np.nonzero(stale)[0]
+        if len(dirty):
+            self._compute(idx, row, dirty)
+            self._stats.rows_refreshed += 1
+            self._stats.cache_misses += len(dirty)
+            self._stats.cache_hits += n - 1 - len(dirty)
+        else:
+            self._stats.cache_hits += n - 1
+        row.stamp = expected
+        row.total_epoch = self.total_epoch
+
+    # ------------------------------------------------------------------
+    # Derived per-row products
+    # ------------------------------------------------------------------
+    def deliveries(
+        self, row: RowState
+    ) -> List[Tuple[int, "AcousticModem", float, float]]:
+        """Broadcast fan-out list for a fresh row (built once per refresh).
+
+        Entries are ``(rx_id, modem, delay_s, level_db)`` python scalars in
+        registration order — exactly the values and order the scalar loop
+        produced — so the hot loop does no NumPy access per delivery.
+        """
+        built = row.deliveries
+        if built is None:
+            members = self._members
+            ids = self._ids
+            delays = row.delay_s
+            levels = row.level_db
+            built = [
+                (ids[j], members[ids[j]][0], float(delays[j]), float(levels[j]))
+                for j in np.nonzero(row.in_reach)[0].tolist()
+            ]
+            row.deliveries = built
+            row.skips = row.n - 1 - len(built)
+        return built
+
+    def decode_ids(self, row: RowState) -> Tuple[int, ...]:
+        """Ids within hard decode range, in registration order."""
+        ids = row.decode_ids
+        if ids is None:
+            members_ids = self._ids
+            ids = tuple(
+                members_ids[j] for j in np.nonzero(row.in_decode)[0].tolist()
+            )
+            row.decode_ids = ids
+        return ids
+
+    def index_of(self, node_id: int) -> int:
+        return self._index[node_id]

@@ -168,11 +168,13 @@ class MobilityManager:
         """Advance every node once by ``dt`` (public for tests).
 
         Each assignment to ``node.position`` routes through the node's
-        setter, which bumps the owning channel's position epoch and so
-        invalidates its link-state cache — moved nodes are reflected in
-        the very next geometry query.  Static-model nodes are skipped
-        outright: they cannot move, and not touching their positions keeps
-        an all-static deployment's cache warm across ticks.
+        setter, which bumps *that node's* position epoch in the owning
+        channel's per-node-epoch link cache — only pairs touching a moved
+        node are recomputed, so a tick that drifts a handful of nodes
+        leaves the rest of the deployment's link state warm.  Static-model
+        nodes are skipped outright: they cannot move, and not touching
+        their positions keeps their epochs (and an all-static deployment's
+        entire cache) untouched across ticks.
         """
         x_range = (0.0, self.config.side_x_m)
         y_range = (0.0, self.config.side_y_m)

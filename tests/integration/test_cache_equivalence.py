@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from repro.experiments.chaos import chaos_plan
 from repro.experiments.config import table2_config
 from repro.experiments.scenario import run_batch_scenario, run_scenario
 
@@ -26,7 +27,7 @@ def _pair(config):
 
 
 class TestSteadyStateEquivalence:
-    @pytest.mark.parametrize("protocol", ["EW-MAC", "S-FAMA", "ROPA", "CS-MAC"])
+    @pytest.mark.parametrize("protocol", ["EW-MAC", "S-FAMA", "ROPA", "CS-MAC", "ALOHA"])
     def test_mobile_scenario_identical(self, protocol):
         # Mobility forces an epoch bump every update period; identical
         # results prove invalidation never serves stale geometry.
@@ -59,6 +60,98 @@ class TestSteadyStateEquivalence:
         # without them it cannot exceed the one-shot pair budget.
         assert mobile.perf.cache_misses > n * (n - 1)
         assert static.perf.cache_misses <= n * (n - 1)
+
+
+class TestVariantEquivalence:
+    """Knobs that reshape the geometry pipeline must not break identity."""
+
+    @pytest.mark.parametrize("factor", [1.0, 3.0])
+    def test_interference_range_factor_identical(self, factor):
+        # The factor scales the delivery-reach mask inside the vector
+        # kernel; both extremes must agree with the scalar scan.
+        config = table2_config(
+            sim_time_s=30.0,
+            offered_load_kbps=0.8,
+            seed=17,
+            mobility=True,
+            interference_range_factor=factor,
+        )
+        cached, uncached = _pair(config)
+        assert _flat(cached) == _flat(uncached)
+
+    @pytest.mark.parametrize("mobility", [True, False])
+    def test_chaos_plan_identical(self, mobility):
+        # Fault injection moves nothing but flips modem liveness, jumps
+        # clocks and raises the noise floor mid-run — none of which is
+        # cached state, so identity must survive a full chaos plan.
+        plan = chaos_plan(fraction=0.2, warmup_s=10.0, sim_time_s=30.0, n_sensors=60)
+        config = table2_config(
+            sim_time_s=30.0,
+            offered_load_kbps=0.8,
+            seed=19,
+            mobility=mobility,
+            faults=plan,
+        )
+        cached, uncached = _pair(config)
+        assert _flat(cached) == _flat(uncached)
+
+
+class TestFadingEquivalence:
+    """Channel-level check: fading composes with cached levels losslessly.
+
+    ``ScenarioConfig`` has no fading knob, so this exercises the channel
+    directly: the kernel caches the *pre-fading* level and the fan-out adds
+    the block fade per delivery, identically on both paths.
+    """
+
+    @pytest.mark.parametrize("mobile", [False, True])
+    def test_broadcast_arrivals_identical_under_fading(self, mobile):
+        from repro.acoustic.fading import RayleighBlockFading
+        from repro.acoustic.geometry import Position
+        from repro.des.simulator import Simulator
+        from repro.phy.channel import AcousticChannel
+        from repro.phy.frame import FrameType, control_frame
+
+        captured = {}
+        for use_cache in (True, False):
+            sim = Simulator()
+            channel = AcousticChannel(
+                sim,
+                use_link_cache=use_cache,
+                fading=RayleighBlockFading(coherence_s=2.0, seed=5),
+                interference_range_factor=2.0,
+            )
+            holder = [
+                Position(0, 0, 0),
+                Position(1200, 0, 0),
+                Position(0, 1400, 100),
+                Position(2200, 0, 0),
+            ]
+            seen = []
+            for node_id in range(len(holder)):
+                modem = channel.create_modem(node_id, lambda i=node_id: holder[i])
+                modem.on_receive = lambda f, arr, i=node_id: seen.append(
+                    (i, arr.src, arr.start, arr.end, arr.level_db, arr.delay_s)
+                )
+            for t, tx in ((0.0, 0), (3.0, 1), (6.5, 2)):
+                sim.schedule(
+                    t,
+                    channel.modem_of(tx).transmit,
+                    control_frame(FrameType.RTS, tx, (tx + 1) % 4, timestamp=t),
+                )
+            if mobile:
+                def move():
+                    holder[1] = Position(1300, 50, 0)
+                    channel.note_position_change(1)
+
+                sim.schedule(5.0, move)
+            sim.run()
+            captured[use_cache] = (
+                seen,
+                channel.stats.deliveries,
+                channel.stats.out_of_range_skips,
+            )
+        assert captured[True] == captured[False]
 
 
 class TestBatchEquivalence:
