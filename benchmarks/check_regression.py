@@ -29,7 +29,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List, Optional
 
 DEFAULT_THRESHOLD = 0.25
 
@@ -48,9 +48,19 @@ def load_means(path: Path) -> Dict[str, float]:
 
 
 def compare(
-    current: Dict[str, float], baseline: Dict[str, float], threshold: float
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+    failures: Optional[List[str]] = None,
 ) -> int:
-    """Print a verdict per benchmark; return the number of regressions."""
+    """Print a verdict per benchmark; return the number of regressions.
+
+    When ``failures`` is given, one line per regressed/missing benchmark —
+    including the measured-over-baseline ratio — is appended to it, so the
+    caller's final failure message can name how far over baseline each
+    offender landed (CI logs truncate the per-benchmark section when the
+    export is long, but the summary always survives).
+    """
     regressions = 0
     missing = sorted(name for name in baseline if name not in current)
     for name in missing:
@@ -58,6 +68,8 @@ def compare(
             f"FAIL  {name}: present in baseline but missing from the "
             "candidate export (benchmark deleted or not collected?)"
         )
+        if failures is not None:
+            failures.append(f"{name}: missing from the candidate export")
     regressions += len(missing)
     for name, mean in sorted(current.items()):
         base = baseline.get(name)
@@ -75,6 +87,11 @@ def compare(
         )
         if ratio > 1.0 + threshold:
             regressions += 1
+            if failures is not None:
+                failures.append(
+                    f"{name}: {ratio:.2f}x baseline "
+                    f"({ratio - 1.0:+.1%}, {mean:.3f}s vs {base:.3f}s)"
+                )
     return regressions
 
 
@@ -103,13 +120,16 @@ def main(argv=None) -> int:
     if not current:
         print("error: current export contains no benchmarks", file=sys.stderr)
         return 2
-    regressions = compare(current, baseline, args.threshold)
+    failures: List[str] = []
+    regressions = compare(current, baseline, args.threshold, failures=failures)
     if regressions:
         print(
             f"\n{regressions} benchmark(s) regressed more than "
             f"{args.threshold:.0%} or went missing; if intentional, "
             "refresh the baseline."
         )
+        for line in failures:
+            print(f"  {line}")
         return 1
     print("\nno benchmark regressed beyond the threshold")
     return 0

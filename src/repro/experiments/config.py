@@ -48,11 +48,33 @@ class ScenarioConfig:
     sound_speed_mps: float = 1500.0
     control_bits: int = 64
     side_m: float = 10_000.0
+    #: Deployment generator: ``"column"`` (paper Fig. 1 — one connected
+    #: water column, densifying as n grows) or ``"tiled"`` (one column per
+    #: sink tiled over the horizontal plane — constant density as n and
+    #: the region grow together; the scale sweep's shape).
+    deployment: str = "column"
     mobility: bool = True
     #: Route channel geometry through the epoch-invalidated link-state
     #: cache.  Results are bit-identical either way (enforced by the
     #: equivalence tests); disable only for A/B profiling.
     link_cache: bool = True
+    #: Cull broadcast rows to the transmitter's 3x3x3 spatial-hash cell
+    #: neighborhood (cell side = reach), so per-broadcast cost tracks
+    #: plausible receivers instead of n.  Bit-identical either way
+    #: (enforced by the grid equivalence matrix); disable only for A/B
+    #: profiling.  No effect when ``link_cache`` is off.
+    spatial_grid: bool = True
+    #: Movement-bounded delta-epochs: skip recomputing a stale cached pair
+    #: when the endpoints' accumulated displacement provably cannot have
+    #: brought it back inside delivery reach.  Bit-identical either way;
+    #: disable only for A/B profiling.  No effect when ``link_cache`` is off.
+    delta_epochs: bool = True
+    #: Recycle Arrival objects through a channel-owned free-list instead of
+    #: allocating one per delivery (the top allocation site after events).
+    #: Safe here because the MAC layer never retains arrivals past the
+    #: receive callback; raw-channel users who do retain them get fresh
+    #: allocations by default (the channel-level default is off).
+    arrival_pool: bool = True
     forwarding: bool = True
     queue_limit: int = 1000
     interference_range_factor: float = 2.0
@@ -70,6 +92,8 @@ class ScenarioConfig:
     def __post_init__(self) -> None:
         if self.n_sensors <= 0:
             raise ValueError("need at least one sensor")
+        if self.deployment not in ("column", "tiled"):
+            raise ValueError(f"unknown deployment {self.deployment!r}")
         if self.data_packet_bits <= 0:
             raise ValueError("data packet size must be positive")
         if self.sim_time_s <= 0:

@@ -31,7 +31,11 @@ from ..net.clock import NodeClock
 from ..net.node import Node
 from ..perf import GLOBAL_PERF, PerfReport
 from ..phy.channel import AcousticChannel
-from ..topology.deployment import DeploymentConfig, connected_column_deployment
+from ..topology.deployment import (
+    DeploymentConfig,
+    connected_column_deployment,
+    tiled_column_deployment,
+)
 from ..topology.mobility import MobilityManager
 from ..topology.routing import DepthRouting
 from ..traffic.generators import BatchWorkload, PoissonTraffic
@@ -118,7 +122,12 @@ class Scenario:
         self.power = power if power is not None else PowerModel()
         tracer = Tracer() if config.trace else None
         self.sim = Simulator(seed=config.seed, tracer=tracer)
-        self.deployment = connected_column_deployment(
+        deploy = (
+            tiled_column_deployment
+            if config.deployment == "tiled"
+            else connected_column_deployment
+        )
+        self.deployment = deploy(
             DeploymentConfig(
                 n_sensors=config.n_sensors,
                 n_sinks=config.n_sinks,
@@ -135,6 +144,9 @@ class Scenario:
             max_range_m=config.comm_range_m,
             interference_range_factor=config.interference_range_factor,
             use_link_cache=config.link_cache,
+            use_spatial_grid=config.spatial_grid,
+            use_delta_epochs=config.delta_epochs,
+            pool_arrivals=config.arrival_pool,
         )
         self.timing = make_slot_timing(
             bitrate_bps=config.bitrate_bps,

@@ -104,7 +104,11 @@ class Node:
         funnels through this setter, so cached pairwise link state can
         never go stale.  Passing the node id bumps only this node's epoch
         in the channel's per-node-epoch link cache: every pair not touching
-        this node stays warm across the move.  Assigning an equal position
+        this node stays warm across the move.  The kernel also accumulates
+        this node's *displacement* (distance between the old and new
+        coordinates, from its own stored copy — no extra bookkeeping here)
+        and re-bins it in the spatial hash, feeding the movement-bounded
+        delta-epoch and reach-cull fast paths.  Assigning an equal position
         — e.g. a static-model step re-clamped to the same point — is not a
         move and keeps the cache warm.
         """

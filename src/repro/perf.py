@@ -37,6 +37,13 @@ class PerfReport:
         vector_batches: Vectorized kernel passes (row builds + refreshes).
         rows_refreshed: Stale link-state rows partially recomputed (0 on a
             fully static run — every row is built once and stays warm).
+        grid_candidates: Summed spatial-hash candidate-set sizes across
+            broadcasts (divide by ``broadcasts`` for the mean scan width;
+            equals ``broadcasts * (n - 1)`` with the grid disabled).
+        rows_skipped_delta: Stale pair recomputes skipped by the
+            movement-bounded delta-epoch test.
+        grid_cells: Occupied spatial-hash cells at capture time (gauge;
+            accumulated via max, not sum).
     """
 
     sim_time_s: float
@@ -49,6 +56,9 @@ class PerfReport:
     cache_misses: int
     vector_batches: int = 0
     rows_refreshed: int = 0
+    grid_candidates: int = 0
+    rows_skipped_delta: int = 0
+    grid_cells: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -87,6 +97,9 @@ class PerfReport:
             cache_misses=channel_stats.cache_misses,
             vector_batches=channel_stats.vector_batches,
             rows_refreshed=channel_stats.rows_refreshed,
+            grid_candidates=channel_stats.grid_candidates,
+            rows_skipped_delta=channel_stats.rows_skipped_delta,
+            grid_cells=channel_stats.grid_cells,
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -105,6 +118,9 @@ class PerfReport:
             "cache_hit_rate": self.cache_hit_rate,
             "vector_batches": self.vector_batches,
             "rows_refreshed": self.rows_refreshed,
+            "grid_candidates": self.grid_candidates,
+            "rows_skipped_delta": self.rows_skipped_delta,
+            "grid_cells": self.grid_cells,
             "speedup_factor": self.speedup_factor,
         }
 
@@ -121,6 +137,10 @@ class PerfReport:
             f"({self.cache_hit_rate:.1%} hit rate)",
             f"vector kernel: {self.vector_batches:,} batches, "
             f"{self.rows_refreshed:,} rows refreshed",
+            f"spatial grid: {self.grid_cells:,} cells, "
+            f"{self.grid_candidates / self.broadcasts if self.broadcasts else 0.0:,.1f} "
+            f"mean candidates/broadcast, "
+            f"{self.rows_skipped_delta:,} delta-epoch skips",
         ]
 
 
@@ -148,8 +168,14 @@ class PerfAccumulator:
             "cache_misses",
             "vector_batches",
             "rows_refreshed",
+            "grid_candidates",
+            "rows_skipped_delta",
         ):
             self._totals[key] = self._totals.get(key, 0) + getattr(report, key)
+        # Occupied-cell count is a gauge, not a flow: keep the peak.
+        self._totals["grid_cells"] = max(
+            self._totals.get("grid_cells", 0), report.grid_cells
+        )
 
     def merged(self) -> PerfReport:
         """Totals as a single report (zeros if nothing was added)."""
@@ -165,6 +191,9 @@ class PerfAccumulator:
             cache_misses=int(totals.get("cache_misses", 0)),
             vector_batches=int(totals.get("vector_batches", 0)),
             rows_refreshed=int(totals.get("rows_refreshed", 0)),
+            grid_candidates=int(totals.get("grid_candidates", 0)),
+            rows_skipped_delta=int(totals.get("rows_skipped_delta", 0)),
+            grid_cells=int(totals.get("grid_cells", 0)),
         )
 
     def summary_lines(self) -> List[str]:

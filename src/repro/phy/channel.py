@@ -46,6 +46,15 @@ class ChannelStats:
     counts stale rows brought back up to date — a static cell shows builds
     only (``rows_refreshed == 0``) while a mobile cell accumulates refreshes
     every mobility tick.
+
+    The spatial-hash counters describe the reach cull: ``grid_candidates``
+    accumulates the candidate-set size (3x3x3 cell neighborhood, excluding
+    self) per broadcast — divide by ``broadcasts`` for the mean scan width,
+    versus ``n - 1`` for the full scan — and ``grid_cells`` is a gauge of
+    currently occupied cells.  ``rows_skipped_delta`` counts stale pair
+    recomputes skipped by the movement-bounded delta-epoch test (the pair
+    was cached so deep out of reach that the endpoints' accumulated motion
+    could not have brought it back in reach).
     """
 
     broadcasts: int = 0
@@ -55,6 +64,9 @@ class ChannelStats:
     cache_misses: int = 0
     vector_batches: int = 0
     rows_refreshed: int = 0
+    grid_candidates: int = 0
+    grid_cells: int = 0
+    rows_skipped_delta: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -78,6 +90,18 @@ class AcousticChannel:
         use_link_cache: Route geometry queries through the epoch-invalidated
             :class:`LinkStateCache` (bit-identical results either way; the
             flag exists for the equivalence tests and A/B profiling).
+        use_spatial_grid: Cull broadcast rows to the 3x3x3 spatial-hash
+            neighborhood of the transmitter (bit-identical; A/B flag).
+            Ignored when the link cache is off.
+        use_delta_epochs: Skip recomputing stale pairs whose accumulated
+            endpoint motion provably cannot have brought them back in
+            reach (bit-identical; A/B flag).  Ignored without the cache.
+        pool_arrivals: Recycle :class:`Arrival` objects through a
+            free-list (repopulated at modem prune time) instead of
+            allocating one per delivery.  Off by default because external
+            callers may legitimately retain Arrival references past the
+            receive callback; the scenario layer — whose MACs never do —
+            turns it on via ``ScenarioConfig.arrival_pool``.
     """
 
     def __init__(
@@ -91,6 +115,9 @@ class AcousticChannel:
         interference_range_factor: float = 1.0,
         fading: Optional[FadingProcess] = None,
         use_link_cache: bool = True,
+        use_spatial_grid: bool = True,
+        use_delta_epochs: bool = True,
+        pool_arrivals: bool = False,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError("bitrate must be positive")
@@ -127,6 +154,11 @@ class AcousticChannel:
         self.extra_noise_db = 0.0
         self.stats = ChannelStats()
         self._members: Dict[int, Tuple[AcousticModem, Callable[[], Position]]] = {}
+        #: Shared Arrival free-list (None = pooling disabled).  Modems
+        #: return pruned arrivals here; ``_fan_out`` reuses them in place
+        #: of fresh allocations.  Bounded so pathological bursts cannot
+        #: pin memory.
+        self.arrival_pool: Optional[list] = [] if pool_arrivals else None
         self.link_cache: Optional[LinkStateCache] = None
         if use_link_cache:
             self.link_cache = LinkStateCache(
@@ -136,6 +168,8 @@ class AcousticChannel:
                 self.max_range_m,
                 self.max_range_m * self.interference_range_factor,
                 self.stats,
+                use_spatial_grid=use_spatial_grid,
+                use_delta_epochs=use_delta_epochs,
             )
 
     # ------------------------------------------------------------------
@@ -222,6 +256,7 @@ class AcousticChannel:
             row = cache.broadcast_row(tx_id)
             targets = cache.deliveries(row)
             self.stats.out_of_range_skips += row.skips
+            self.stats.grid_candidates += row.candidate_count
             self._fan_out(tx_id, frame, duration_s, targets)
             return
         tx_pos = self.position_of(tx_id)
@@ -259,11 +294,24 @@ class AcousticChannel:
         stats = self.stats
         push_at = self.sim.push_at
         fading_active = self._fading_active
+        pool = self.arrival_pool
         for node_id, modem, delay, level in targets:
             if fading_active:
                 level += self.fading.fade_db((tx_id, node_id), now)
             start = now + delay
-            arrival = Arrival(frame, tx_id, start, start + duration_s, level, delay)
+            if pool:
+                # Recycle a pruned Arrival: every field is overwritten, and
+                # pruning only returns arrivals whose finish event already
+                # fired, so no live reference can observe the reuse.
+                arrival = pool.pop()
+                arrival.frame = frame
+                arrival.src = tx_id
+                arrival.start = start
+                arrival.end = start + duration_s
+                arrival.level_db = level
+                arrival.delay_s = delay
+            else:
+                arrival = Arrival(frame, tx_id, start, start + duration_s, level, delay)
             # High priority so arrivals register before same-instant MAC logic.
             push_at(start, modem.begin_arrival, (arrival,), PRIORITY_HIGH)
         stats.deliveries += len(targets)

@@ -106,9 +106,18 @@ class LinkStateCache:
         max_range_m: float,
         reach_m: float,
         stats: "ChannelStats",
+        use_spatial_grid: bool = True,
+        use_delta_epochs: bool = True,
     ) -> None:
         self._kernel = VectorLinkKernel(
-            members, propagation, link_budget, max_range_m, reach_m, stats
+            members,
+            propagation,
+            link_budget,
+            max_range_m,
+            reach_m,
+            stats,
+            use_spatial_grid=use_spatial_grid,
+            use_delta_epochs=use_delta_epochs,
         )
 
     @property
@@ -128,10 +137,19 @@ class LinkStateCache:
 
     # ------------------------------------------------------------------
     def link(self, tx: int, rx: int) -> LinkState:
-        """Link state for the directed pair (served from the tx's row)."""
+        """Link state for the directed pair (served from the tx's row).
+
+        With the spatial grid or delta-epoch culls active, a whole-row
+        freshness pass guarantees the masks but may leave an out-of-reach
+        pair's scalars stale or never computed; the per-pair stamp check
+        in :meth:`VectorLinkKernel.ensure_pair` recomputes exactly that
+        entry on demand, so point queries stay exact for *any* pair.
+        """
         kernel = self._kernel
         row = kernel.row(tx)
+        tx_idx = kernel.index_of(tx)
         j = kernel.index_of(rx)
+        kernel.ensure_pair(row, tx_idx, j)
         return LinkState(
             float(row.distance_m[j]),
             float(row.delay_s[j]),

@@ -20,11 +20,22 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, List, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from ..des.simulator import Simulator
 from .frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
     from .channel import AcousticChannel
+
+#: Overlap scans over fewer pending arrivals than this stay on the plain
+#: list comprehension: below it, NumPy's fixed per-call overhead costs more
+#: than it saves.  Both paths are bit-identical (same comparisons, same
+#: level values, same order), so the threshold is purely a speed knob.
+VECTOR_SCAN_MIN = 16
+
+#: Cap on the shared Arrival free-list (see ``AcousticChannel.arrival_pool``).
+ARRIVAL_POOL_CAP = 4096
 
 
 class RxOutcome(Enum):
@@ -53,9 +64,14 @@ class Arrival:
         end: Arrival end time (start + on-air duration).
         level_db: Received signal level at this modem.
         delay_s: One-way propagation delay the signal experienced.
+
+    The extra ``_slot`` slot (not a dataclass field) is the arrival's index
+    in its receiving modem's pending list, kept aligned with the modem's
+    parallel start/end/level arrays so the vectorized interferer scan can
+    exclude the arrival itself by position in O(1).
     """
 
-    __slots__ = ("frame", "src", "start", "end", "level_db", "delay_s")
+    __slots__ = ("frame", "src", "start", "end", "level_db", "delay_s", "_slot")
 
     frame: Frame
     src: int
@@ -140,6 +156,14 @@ class AcousticModem:
         self.on_rx_failure: Optional[Callable[[Arrival, RxOutcome], None]] = None
         self._tx_intervals: List[_TxInterval] = []
         self._arrivals: List[Arrival] = []
+        # Parallel struct-of-arrays mirror of ``_arrivals`` (slot i holds
+        # arrival i's start/end/level), so the interferer overlap scan in
+        # _decode_outcome is one vectorized window test instead of a Python
+        # loop over every pending arrival.  Grown by doubling; compacted in
+        # lock-step with the list by _prune_arrivals.
+        self._arr_start = np.empty(VECTOR_SCAN_MIN, dtype=np.float64)
+        self._arr_end = np.empty(VECTOR_SCAN_MIN, dtype=np.float64)
+        self._arr_level = np.empty(VECTOR_SCAN_MIN, dtype=np.float64)
         self._rx_busy_until = 0.0
         self._last_tx_end = 0.0
         # Longest on-air duration seen (tx or rx).  Anything that ended more
@@ -219,7 +243,24 @@ class AcousticModem:
             return
         if not self.rx_enabled:
             self.stats.rx_outage += 1
+            # No finish event will ever fire for this arrival, so it can go
+            # straight back to the free-list when pooling is on.
+            pool = self.channel.arrival_pool
+            if pool is not None and len(pool) < ARRIVAL_POOL_CAP:
+                pool.append(arrival)
             return
+        slot = len(self._arrivals)
+        if slot == len(self._arr_start):
+            capacity = slot * 2
+            for name in ("_arr_start", "_arr_end", "_arr_level"):
+                old = getattr(self, name)
+                fresh = np.empty(capacity, dtype=np.float64)
+                fresh[:slot] = old
+                setattr(self, name, fresh)
+        arrival._slot = slot
+        self._arr_start[slot] = arrival.start
+        self._arr_end[slot] = arrival.end
+        self._arr_level[slot] = arrival.level_db
         self._arrivals.append(arrival)
         end = arrival.end
         duration = end - arrival.start
@@ -288,11 +329,25 @@ class AcousticModem:
         for iv in self._tx_intervals:
             if iv.start < a_end and iv.end > a_start:
                 return RxOutcome.HALF_DUPLEX
-        interferer_levels = [
-            other.level_db
-            for other in self._arrivals
-            if other is not arrival and other.start < a_end and other.end > a_start
-        ]
+        n = len(self._arrivals)
+        if n >= VECTOR_SCAN_MIN:
+            # Vectorized overlap-window scan over the parallel arrays.
+            # Identical comparisons, level values and (slot == list) order
+            # as the comprehension below, so the result is bit-for-bit the
+            # same — .tolist() round-trips float64 exactly, and the
+            # interference sum in sinr_db_from_levels runs in list order.
+            mask = (self._arr_start[:n] < a_end) & (self._arr_end[:n] > a_start)
+            mask[arrival._slot] = False
+            if mask.any():
+                interferer_levels = self._arr_level[:n][mask].tolist()
+            else:
+                interferer_levels = []
+        else:
+            interferer_levels = [
+                other.level_db
+                for other in self._arrivals
+                if other is not arrival and other.start < a_end and other.end > a_start
+            ]
         sinr_db = self._link_budget.sinr_db_from_levels(
             arrival.level_db,
             interferer_levels,
@@ -313,6 +368,27 @@ class AcousticModem:
             intervals[:] = [iv for iv in intervals if iv.end >= horizon]
 
     def _prune_arrivals(self) -> None:
+        arrivals = self._arrivals
         horizon = self.sim.now - self._max_duration_s
-        if self._arrivals and self._arrivals[0].end < horizon:
-            self._arrivals = [a for a in self._arrivals if a.end >= horizon]
+        if not arrivals or arrivals[0].end >= horizon:
+            return
+        # Compact list and parallel arrays in lock-step, reassigning slots.
+        # Pruned arrivals' finish events have already fired (they end before
+        # the horizon, which trails now), so with pooling on they can be
+        # recycled — no MAC retains arrivals past its receive callback.
+        starts = self._arr_start
+        ends = self._arr_end
+        levels = self._arr_level
+        pool = self.channel.arrival_pool
+        kept: List[Arrival] = []
+        for a in arrivals:
+            if a.end >= horizon:
+                slot = len(kept)
+                a._slot = slot
+                starts[slot] = a.start
+                ends[slot] = a.end
+                levels[slot] = a.level_db
+                kept.append(a)
+            elif pool is not None and len(pool) < ARRIVAL_POOL_CAP:
+                pool.append(a)
+        self._arrivals = kept

@@ -18,6 +18,15 @@ Two generators are provided:
   node count grows (``(n_ref / n)^(1/3)``), reproducing the paper's
   "increasing sensor density will reduce propagation delay between
   sensors" effect that drives Fig. 7.
+* :func:`tiled_column_deployment` — the constant-density *scaling* shape:
+  one connected column per sink, tiled over the horizontal plane.  The
+  single-column generator keeps its cloud within a couple of communication
+  ranges of the root regardless of ``n`` (its link scale shrinks as the
+  count grows), so growing ``n_sensors`` inside one column *densifies*
+  toward a clique instead of covering a larger region.  Monitoring more
+  ocean at the same sensor density means deploying more columns, and this
+  generator models exactly that — which is also the regime where spatial
+  reach culling has structure to exploit.
 """
 
 from __future__ import annotations
@@ -195,3 +204,52 @@ def connected_column_deployment(config: DeploymentConfig) -> Deployment:
             candidate = parent.midpoint(candidate)
         positions.append(candidate)
     return Deployment(config, positions, list(range(config.n_sinks)))
+
+
+def tiled_column_deployment(config: DeploymentConfig) -> Deployment:
+    """One connected column per sink, tiled over the horizontal plane.
+
+    The region is split into an approximately square ``n_sinks``-block
+    horizontal grid; each block gets one surface sink and an equal share of
+    the sensors, placed by :func:`connected_column_deployment` inside the
+    block (full depth range) and offset to the block's origin.  Sinks keep
+    the ids-first contract (ids ``0 .. n_sinks - 1``).
+
+    With ``n_sinks`` scaled as ``n_sensors / 60`` and the region sides as
+    ``(n_sensors / 60)^(1/3)``, every column is a Table-2-like 60-node
+    cluster and the *global* node density genuinely stays constant as the
+    network grows — unlike growing a single column, whose cloud stays put
+    and densifies.  Per-column placement draws from independent derived
+    seeds, so a column's geometry depends only on the root seed and its
+    block index.
+    """
+    k = max(1, config.n_sinks)
+    grid_x = int(math.ceil(math.sqrt(k)))
+    grid_y = int(math.ceil(k / grid_x))
+    block_x_m = config.side_x_m / grid_x
+    block_y_m = config.side_y_m / grid_y
+    base, extra = divmod(config.n_sensors, k)
+    rng = np.random.default_rng(config.seed)
+    sub_seeds = rng.integers(0, 2**31 - 1, size=k)
+    sink_positions: List[Position] = []
+    sensor_positions: List[Position] = []
+    for block in range(k):
+        bx = (block % grid_x) * block_x_m
+        by = (block // grid_x) * block_y_m
+        sub = connected_column_deployment(
+            DeploymentConfig(
+                n_sensors=base + (1 if block < extra else 0),
+                n_sinks=1,
+                side_x_m=block_x_m,
+                side_y_m=block_y_m,
+                depth_m=config.depth_m,
+                comm_range_m=config.comm_range_m,
+                seed=int(sub_seeds[block]),
+            )
+        )
+        shifted = [Position(p.x + bx, p.y + by, p.z) for p in sub.positions]
+        sink_positions.append(shifted[0])
+        sensor_positions.extend(shifted[1:])
+    return Deployment(
+        config, sink_positions + sensor_positions, list(range(k))
+    )
