@@ -12,8 +12,11 @@ as a reproduction report (captured with ``-s`` or in the benchmark log).
 
 from __future__ import annotations
 
+import inspect
+
 import pytest
 
+from repro.experiments.engine import observe_sweeps
 from repro.experiments.figures import FigureData
 from repro.experiments.report import format_figure
 
@@ -25,6 +28,13 @@ def pytest_addoption(parser):
         default=1,
         help="run figure sweeps through the parallel engine with N worker "
         "processes (0 = CPU count; default 1 = serial)",
+    )
+    parser.addoption(
+        "--use-cache",
+        action="store_true",
+        help="reuse the on-disk result cache ($REPRO_CACHE_DIR or "
+        "./.repro-cache) and print hit/miss counts; only sensible with "
+        "--benchmark-disable, since cached cells skip the work being timed",
     )
 
 
@@ -56,10 +66,24 @@ def check_figure(data: FigureData, figure_id: str) -> None:
 
 
 @pytest.fixture
-def one_shot(benchmark):
-    """Run the expensive artifact generation exactly once under timing."""
+def one_shot(benchmark, request):
+    """Run the expensive artifact generation exactly once under timing.
+
+    With ``--use-cache`` the figure runners reuse the on-disk result
+    cache (the CI smoke jobs warm it across runs) and the cache traffic
+    is printed after the run.
+    """
+    use_cache = request.config.getoption("--use-cache")
 
     def run(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        if use_cache and "cache" in inspect.signature(fn).parameters:
+            kwargs.setdefault("cache", True)
+        with observe_sweeps() as observer:
+            result = benchmark.pedantic(
+                fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+        if use_cache:
+            print(f"\n{observer.cache_line()}")
+        return result
 
     return run

@@ -2,9 +2,23 @@
 
 from ..faults import FaultPlan, FaultReport
 from .cache import ResultCache, cell_key, code_version
-from .chaos import CHAOS_PROTOCOLS, ChaosSummary, chaos, chaos_plan
+from .chaos import CHAOS_PROTOCOLS, ChaosSummary, chaos, chaos_figure_plan, chaos_plan
+from .engine import (
+    EngineError,
+    FigurePlan,
+    SweepObserver,
+    SweepRequest,
+    SweepResult,
+    apply_overrides,
+    observe_sweeps,
+    request_key,
+    request_plan,
+    run_plan,
+    run_request,
+    service_targets,
+)
 from .config import TABLE2, ScenarioConfig, table2_config
-from .figures import ALL_FIGURES, PAPER_EXPECTATIONS, FigureData
+from .figures import ALL_FIGURES, ALL_PLANS, PAPER_EXPECTATIONS, FigureData
 from .parallel import CellFailure, ParallelSweepRunner, SweepCell, expand_cells
 from .report import format_figure, write_csv
 from .ablations import ALL_ABLATIONS
@@ -20,13 +34,17 @@ from .timeline import (
 __all__ = [
     "ALL_ABLATIONS",
     "ALL_FIGURES",
+    "ALL_PLANS",
     "CHAOS_PROTOCOLS",
     "CellFailure",
     "ChaosSummary",
+    "EngineError",
     "FaultPlan",
     "FaultReport",
     "FigureData",
+    "FigurePlan",
     "chaos",
+    "chaos_figure_plan",
     "chaos_plan",
     "TimelineEntry",
     "extra_exploitation_summary",
@@ -40,17 +58,27 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "SweepCell",
+    "SweepObserver",
+    "SweepRequest",
+    "SweepResult",
     "SweepSpec",
     "TABLE2",
     "aggregate",
     "aggregate_relative",
+    "apply_overrides",
     "cell_key",
     "code_version",
     "expand_cells",
     "format_figure",
+    "observe_sweeps",
+    "request_key",
+    "request_plan",
     "run_batch_scenario",
+    "run_plan",
+    "run_request",
     "run_scenario",
     "run_sweep",
+    "service_targets",
     "table2_config",
     "write_csv",
 ]

@@ -28,7 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from .config import ScenarioConfig, table2_config
 from .figures import FigureData, Progress
 from .scenario import Scenario
-from .sweeps import PAPER_PROTOCOLS, mean
+from .engine import PAPER_PROTOCOLS, mean
 
 
 def _run_cells(

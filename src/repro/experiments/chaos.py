@@ -21,11 +21,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from typing import Mapping
+
 from ..faults.plan import ClockFault, CrashWave, FaultPlan, ModemOutage, NoiseBurst
 from .config import ScenarioConfig, table2_config
-from .figures import FigureData
+from .engine import (
+    PAPER_PROTOCOLS,
+    FigureData,
+    FigurePlan,
+    GridResults,
+    SweepSpec,
+    aggregate,
+    apply_overrides,
+    run_sweep,
+)
 from .scenario import ScenarioResult
-from .sweeps import PAPER_PROTOCOLS, SweepSpec, aggregate, run_sweep
 
 #: The chaos sweep adds the ALOHA floor to the paper's protocol set.
 CHAOS_PROTOCOLS: Tuple[str, ...] = PAPER_PROTOCOLS + ("ALOHA",)
@@ -142,15 +152,16 @@ class ChaosSummary:
         ]
 
 
-def chaos(
+def chaos_figure_plan(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
-    progress: Optional[Callable[[str], None]] = None,
-    workers: Optional[int] = 1,
-    cache: object = None,
-    cell_timeout_s: Optional[float] = None,
-) -> Tuple[FigureData, ChaosSummary]:
-    """Delivery ratio vs crash fraction for all five protocols."""
+    overrides: Optional[Mapping[str, object]] = None,
+) -> FigurePlan:
+    """Declarative plan for the chaos sweep (the engine's ``chaos`` target).
+
+    ``summarize`` carries the audit counters, so the job service and the
+    CLI report the same wedge/recovery lines from the same grid.
+    """
     if quick:
         fractions: Tuple[float, ...] = (0.0, 0.2)
         base = table2_config(n_sensors=20, sim_time_s=60.0)
@@ -158,6 +169,7 @@ def chaos(
     else:
         fractions = (0.0, 0.1, 0.2, 0.3)
         base = table2_config()
+    base = apply_overrides(base, overrides)
 
     def configure(
         cfg: ScenarioConfig, x: float, protocol: str, seed: int
@@ -168,37 +180,68 @@ def chaos(
             faults=chaos_plan(x, cfg.warmup_s, cfg.sim_time_s, cfg.n_sensors),
         )
 
-    spec = SweepSpec(x_values=fractions, configure=configure)
-    results = run_sweep(
-        spec,
-        base,
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(
+            results, fractions, CHAOS_PROTOCOLS, lambda r: r.delivery_ratio
+        )
+        return FigureData(
+            figure_id="chaos",
+            title="Delivery ratio under seeded fault injection",
+            x_label="Crashed fraction of sensors",
+            y_label="Delivery ratio (delivered bits / offered bits)",
+            x_values=list(fractions),
+            series=series,
+            notes=(
+                "Chaos sweep (not a paper figure): each faulted cell injects a "
+                "seeded crash wave with recovery, TX/RX modem outages, a clock "
+                "fault, and a +6 dB noise burst; x = 0 is the fault-free "
+                "baseline.  Post-run audits count wedged MACs; any makes the "
+                "chaos CLI exit nonzero."
+            ),
+        )
+
+    def summarize(results: GridResults) -> List[str]:
+        return summarize_grid(results).lines()
+
+    return FigurePlan(
+        figure_id="chaos",
+        spec=SweepSpec(x_values=fractions, configure=configure),
+        base=base,
         protocols=CHAOS_PROTOCOLS,
-        seeds=seeds,
+        seeds=tuple(int(s) for s in seeds),
+        build=build,
+        summarize=summarize,
+    )
+
+
+def summarize_grid(results: GridResults) -> ChaosSummary:
+    """Aggregate every cell's fault report into one :class:`ChaosSummary`."""
+    summary = ChaosSummary()
+    for cell_results in results.values():
+        for result in cell_results:
+            summary.add(result)
+    return summary
+
+
+def chaos(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+    overrides: Optional[Mapping[str, object]] = None,
+) -> Tuple[FigureData, ChaosSummary]:
+    """Delivery ratio vs crash fraction for all five protocols."""
+    plan = chaos_figure_plan(seeds, quick, overrides)
+    results = run_sweep(
+        plan.spec,
+        plan.base,
+        protocols=plan.protocols,
+        seeds=plan.seeds,
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
     )
-    summary = ChaosSummary()
-    for cell_results in results.values():
-        for result in cell_results:
-            summary.add(result)
-    series = aggregate(
-        results, fractions, CHAOS_PROTOCOLS, lambda r: r.delivery_ratio
-    )
-    data = FigureData(
-        figure_id="chaos",
-        title="Delivery ratio under seeded fault injection",
-        x_label="Crashed fraction of sensors",
-        y_label="Delivery ratio (delivered bits / offered bits)",
-        x_values=list(fractions),
-        series=series,
-        notes=(
-            "Chaos sweep (not a paper figure): each faulted cell injects a "
-            "seeded crash wave with recovery, TX/RX modem outages, a clock "
-            "fault, and a +6 dB noise burst; x = 0 is the fault-free "
-            "baseline.  Post-run audits count wedged MACs; any makes the "
-            "chaos CLI exit nonzero."
-        ),
-    )
-    return data, summary
+    return plan.build(results), summarize_grid(results)

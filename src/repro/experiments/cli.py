@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate any paper figure.
+"""Command-line entry point: regenerate any paper figure, or serve sweeps.
 
 Examples::
 
@@ -6,11 +6,17 @@ Examples::
     repro-uasn fig8 --quick          # scaled-down Fig. 8
     repro-uasn all --quick --csv out # everything, CSVs into ./out
     repro-uasn table2                # print the Table 2 defaults
+    repro-uasn serve --port 8642     # REST job service over the engine
+
+Exit codes: ``0`` success, ``1`` engine-level failure (a sweep cell
+failed permanently, a chaos audit tripped, the A/B gate diverged),
+``2`` bad invocation (invalid config override, malformed arguments).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import inspect
 import sys
 from pathlib import Path
@@ -18,6 +24,7 @@ from typing import Dict, List, Optional
 
 from .ablations import ALL_ABLATIONS
 from .config import TABLE2
+from .engine import EngineError, observe_sweeps
 from .figures import ALL_FIGURES
 from .report import format_figure, write_csv
 
@@ -31,12 +38,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_RUNNERS) + ["all", "ablations", "chaos", "scale", "table2", "report"],
+        choices=sorted(_RUNNERS)
+        + ["all", "ablations", "chaos", "scale", "serve", "table2", "report"],
         help="figure or ablation to regenerate ('all' = paper figures, "
         "'ablations' = every ablation, 'chaos' = seeded fault-injection "
         "robustness sweep, 'scale' = wall-clock scaling sweep over node "
-        "count, 'report' = rebuild EXPERIMENTS.md from the --csv "
-        "directory)",
+        "count, 'serve' = run the REST job service, 'report' = rebuild "
+        "EXPERIMENTS.md from the --csv directory)",
     )
     parser.add_argument(
         "--out",
@@ -78,6 +86,15 @@ def build_parser() -> argparse.ArgumentParser:
         "budget are re-run serially",
     )
     parser.add_argument(
+        "--override",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a ScenarioConfig field of the target's base config "
+        "(repeatable, e.g. --override n_sensors=20 --override "
+        "sim_time_s=60.0); an unknown field or invalid value exits 2",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest functions plus "
@@ -109,7 +126,65 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--chart", action="store_true", help="also render ASCII line charts"
     )
+    service = parser.add_argument_group("serve target")
+    service.add_argument(
+        "--host", type=str, default="127.0.0.1", help="bind address (serve)"
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (serve; 0 picks a free port, printed on stdout)",
+    )
+    service.add_argument(
+        "--store",
+        type=str,
+        default=".repro-service.sqlite",
+        metavar="FILE",
+        help="persistent job store path (serve); jobs left running by a "
+        "crashed service are requeued on startup",
+    )
+    service.add_argument(
+        "--service-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent job worker threads (serve); each job additionally "
+        "fans its cells over --workers processes",
+    )
+    service.add_argument(
+        "--allow-shutdown",
+        action="store_true",
+        help="enable POST /shutdown for clean remote stops (CI smoke)",
+    )
+    service.add_argument(
+        "--http-log",
+        action="store_true",
+        help="log every HTTP request to stderr (serve)",
+    )
     return parser
+
+
+def parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    """``FIELD=VALUE`` strings -> typed override mapping.
+
+    Values parse as Python literals (``20``, ``60.0``, ``False``);
+    anything unparseable stays a string.  A pair without ``=`` raises
+    :class:`~repro.experiments.engine.EngineError` (exit code 2).
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise EngineError(
+                f"bad --override {pair!r}: expected FIELD=VALUE"
+            )
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw
+        overrides[name] = value
+    return overrides
 
 
 def _engine_kwargs(runner, args: argparse.Namespace) -> Dict[str, object]:
@@ -128,6 +203,8 @@ def _engine_kwargs(runner, args: argparse.Namespace) -> Dict[str, object]:
         kwargs["cache"] = not args.no_cache
     if "cell_timeout_s" in supported and args.cell_timeout is not None:
         kwargs["cell_timeout_s"] = args.cell_timeout
+    if "overrides" in supported and args.override:
+        kwargs["overrides"] = parse_overrides(args.override)
     return kwargs
 
 
@@ -137,11 +214,61 @@ def _print_table2() -> None:
         print(f"  {key:28s} {value}")
 
 
+def _finish_observed(observer, cache_enabled: bool) -> int:
+    """Shared epilogue: cache accounting and the failure exit code."""
+    if cache_enabled:
+        print(f"  {observer.cache_line()}")
+    if observer.failures:
+        for failure in observer.failures:
+            print(
+                f"FAIL: cell {failure.cell.label} failed permanently: "
+                f"{failure.error}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from ..service.api import serve
+
+    run_kwargs: Dict[str, object] = {
+        "workers": None if args.workers == 0 else args.workers,
+        "cache": not args.no_cache,
+    }
+    if args.cell_timeout is not None:
+        run_kwargs["cell_timeout_s"] = args.cell_timeout
+    return serve(
+        host=args.host,
+        port=args.port,
+        store_path=args.store,
+        n_service_workers=args.service_workers,
+        run_kwargs=run_kwargs,
+        allow_shutdown=args.allow_shutdown,
+        quiet=not args.http_log,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, TypeError) as exc:
+        # Engine-level config/validation failures surface as a named
+        # error and a nonzero exit, never a silent success.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.target == "table2":
         _print_table2()
         return 0
+    if args.target == "serve":
+        return _serve(args)
     if args.target == "report":
         if not args.csv:
             print("report needs --csv DIR (where the figure CSVs live)", file=sys.stderr)
@@ -158,15 +285,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .chaos import chaos
 
         kwargs = _engine_kwargs(chaos, args)
-        data, summary = chaos(
-            seeds=seeds, quick=args.quick, progress=progress, **kwargs
-        )
+        with observe_sweeps() as observer:
+            data, summary = chaos(
+                seeds=seeds, quick=args.quick, progress=progress, **kwargs
+            )
         print(format_figure(data))
         for line in summary.lines():
             print(f"  {line}")
         if args.csv:
             path = write_csv(data, Path(args.csv) / "chaos.csv")
             print(f"  csv: {path}")
+        status = _finish_observed(observer, not args.no_cache)
+        if status:
+            return status
         if summary.wedged_handshakes > 0:
             print(
                 f"FAIL: {summary.wedged_handshakes} wedged handshake(s) "
@@ -224,23 +355,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        for target in targets:
-            runner = _RUNNERS[target]
-            kwargs = _engine_kwargs(runner, args)
-            data = runner(seeds=seeds, quick=args.quick, progress=progress, **kwargs)
-            print(format_figure(data))
-            if args.chart:
-                from ..analysis.charts import figure_chart
+        with observe_sweeps() as observer:
+            for target in targets:
+                runner = _RUNNERS[target]
+                kwargs = _engine_kwargs(runner, args)
+                data = runner(seeds=seeds, quick=args.quick, progress=progress, **kwargs)
+                print(format_figure(data))
+                if args.chart:
+                    from ..analysis.charts import figure_chart
 
-                print(figure_chart(data))
-            if args.csv:
-                path = write_csv(data, Path(args.csv) / f"{target}.csv")
-                print(f"  csv: {path}\n")
+                    print(figure_chart(data))
+                if args.csv:
+                    path = write_csv(data, Path(args.csv) / f"{target}.csv")
+                    print(f"  csv: {path}\n")
     finally:
         if profiler is not None:
             profiler.disable()
             _print_profile(profiler)
-    return 0
+    return _finish_observed(observer, not args.no_cache)
 
 
 def _print_profile(profiler: "cProfile.Profile") -> None:

@@ -1,0 +1,582 @@
+"""Pure sweep engine: specs and requests in, results out.
+
+This module is the computational core of :mod:`repro.experiments`, split
+out so every front-end — the CLI, the benchmark suite, and the
+:mod:`repro.service` REST API — is a thin caller over the same functions.
+The engine keeps a strict purity contract:
+
+* **importing it performs no filesystem access, prints nothing, and
+  never touches ``sys.argv``** (verified by a test);
+* **running it writes nothing** unless the caller explicitly passes a
+  cache — results come back as values, never as files.
+
+Three layers, lowest first:
+
+``run_sweep``
+    Grid executor: a :class:`SweepSpec` (x axis + config closure) is
+    expanded into (x, protocol, seed) cells and run serially or through
+    the spawn-safe process pool (:mod:`repro.experiments.parallel`),
+    optionally memoized through the content-addressed
+    :mod:`~repro.experiments.cache`.
+
+``run_plan``
+    Figure executor: a :class:`FigurePlan` bundles a sweep with its base
+    config, protocol set, seeds, and the aggregation that turns the raw
+    grid into a :class:`FigureData`.  The declarative plan factories live
+    in :mod:`~repro.experiments.figures` and
+    :mod:`~repro.experiments.chaos`; they build plans, the engine runs
+    them.
+
+``run_request``
+    Job executor: a :class:`SweepRequest` is a *serializable* description
+    of a figure run (target id, quick flag, seeds, config overrides) —
+    the unit of work the job service queues.  :func:`request_key` derives
+    a content-addressed job key from the request's cell digests (reusing
+    :func:`~repro.experiments.cache.cell_key`), so identical submissions
+    dedupe to one run and any source edit re-keys every job.
+    :func:`run_request` returns a :class:`SweepResult` whose
+    :meth:`~SweepResult.to_dict` is plain JSON.
+
+Observability is ambient rather than threaded through every signature:
+wrap engine calls in :func:`observe_sweeps` to collect permanent cell
+failures, requeue counts, and cache hit/miss totals without changing any
+runner's interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .config import ScenarioConfig
+from .scenario import Scenario, ScenarioResult
+
+#: The paper's protocol set, in its legend order.
+PAPER_PROTOCOLS: Tuple[str, ...] = ("S-FAMA", "ROPA", "CS-MAC", "EW-MAC")
+
+#: A grid cell: results of every seed for one (x, protocol) pair.
+GridResults = Dict[Tuple[float, str], List[ScenarioResult]]
+
+Progress = Optional[Callable[[str], None]]
+
+
+class EngineError(ValueError):
+    """A request the engine cannot run (unknown target, bad field, ...)."""
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class SweepSpec:
+    """One sweep axis: x values and how each x customizes the config.
+
+    Attributes:
+        x_values: Sweep axis values (offered loads, node counts, ...).
+        configure: Maps (base_config, x, protocol, seed) to the scenario
+            config for that grid cell.
+        batch: If set, maps x to (n_packets, max_time_s) and scenarios run
+            in batch-drain mode instead of steady state (Fig. 8).
+    """
+
+    x_values: Sequence[float]
+    configure: Callable[[ScenarioConfig, float, str, int], ScenarioConfig]
+    batch: Optional[Callable[[float, ScenarioConfig], Tuple[int, float]]] = None
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: x axis plus a series per protocol."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]]
+    notes: str = ""
+
+    def value(self, protocol: str, x: float) -> float:
+        """Series value for a protocol at an x-axis point."""
+        return self.series[protocol][self.x_values.index(x)]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (the service's wire format)."""
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Observability: ambient collection of failures and cache traffic
+# ----------------------------------------------------------------------
+@dataclass
+class SweepObserver:
+    """Totals collected across every :func:`run_sweep` in an observed block."""
+
+    #: Cells that failed even on the serial retry (labels + errors).
+    failures: List[object] = field(default_factory=list)
+    #: Cells whose pooled attempt timed out/crashed and were re-run.
+    requeued: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    def record_runner(self, runner: object) -> None:
+        """Fold one finished ``ParallelSweepRunner`` into the totals."""
+        self.failures.extend(runner.failures)
+        self.requeued += len(runner.requeued)
+        cache = runner.cache
+        if cache is not None:
+            self.cache_hits += cache.stats.hits
+            self.cache_misses += cache.stats.misses
+            self.cache_stores += cache.stats.stores
+
+    def merge(self, other: "SweepObserver") -> None:
+        """Fold another observer's totals into this one (nested blocks)."""
+        self.failures.extend(other.failures)
+        self.requeued += other.requeued
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_stores += other.cache_stores
+
+    def cache_line(self) -> str:
+        """One-line cache traffic summary for logs."""
+        return (
+            f"cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es), "
+            f"{self.cache_stores} store(s)"
+        )
+
+
+_OBSERVER: ContextVar[Optional[SweepObserver]] = ContextVar(
+    "repro_sweep_observer", default=None
+)
+
+
+@contextmanager
+def observe_sweeps() -> Iterator[SweepObserver]:
+    """Collect failure/cache totals from every sweep run inside the block.
+
+    Front-ends (CLI exit codes, the service's failed-job detection, CI
+    cache accounting) use this instead of threading reporting hooks
+    through every figure runner's signature.  Blocks nest: an inner
+    block's totals fold into the enclosing observer when it exits, so
+    :func:`run_request` (which observes its own sweep) stays visible to
+    a caller that is also observing.
+    """
+    observer = SweepObserver()
+    parent = _OBSERVER.get()
+    token = _OBSERVER.set(observer)
+    try:
+        yield observer
+    finally:
+        _OBSERVER.reset(token)
+        if parent is not None:
+            parent.merge(observer)
+
+
+# ----------------------------------------------------------------------
+# Layer 1: grid execution
+# ----------------------------------------------------------------------
+def run_sweep(
+    spec: SweepSpec,
+    base: ScenarioConfig,
+    protocols: Sequence[str] = PAPER_PROTOCOLS,
+    seeds: Sequence[int] = (1, 2, 3),
+    progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+) -> GridResults:
+    """Run every (x, protocol, seed) cell of a sweep.
+
+    Args:
+        workers: ``1`` (default) runs the classic in-process loop;
+            ``N > 1`` (or ``None``/``0`` for the CPU count) fans cells out
+            over a spawn-safe process pool via
+            :class:`~repro.experiments.parallel.ParallelSweepRunner`.
+            Cell order, seed pairing, and results are identical either way.
+        cache: ``None`` (off), ``True`` (default on-disk location), a
+            directory path, or a
+            :class:`~repro.experiments.cache.ResultCache` — previously
+            computed cells are reused instead of re-simulated.
+        cell_timeout_s: Optional per-cell wall-clock budget (pooled runs
+            only); cells that exceed it are re-run serially to completion.
+    """
+    from .cache import resolve_cache
+
+    resolved = resolve_cache(cache)  # type: ignore[arg-type]
+    if (workers is None or workers != 1) or resolved is not None:
+        from .parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(
+            workers=workers,
+            cache=resolved,
+            cell_timeout_s=cell_timeout_s,
+            progress=progress,
+        )
+        grid = runner.run(spec, base, protocols=protocols, seeds=seeds)
+        observer = _OBSERVER.get()
+        if observer is not None:
+            observer.record_runner(runner)
+        return grid
+    results: GridResults = {}
+    for x in spec.x_values:
+        for protocol in protocols:
+            cell: List[ScenarioResult] = []
+            for seed in seeds:
+                config = spec.configure(base, x, protocol, seed)
+                scenario = Scenario(config)
+                if spec.batch is not None:
+                    n_packets, max_time = spec.batch(x, config)
+                    result = scenario.run_batch(n_packets, max_time)
+                else:
+                    result = scenario.run_steady_state()
+                cell.append(result)
+                if progress is not None:
+                    progress(f"{protocol} x={x} seed={seed} done")
+            results[(x, protocol)] = cell
+    return results
+
+
+def aggregate(
+    results: GridResults,
+    x_values: Sequence[float],
+    protocols: Sequence[str],
+    metric: Callable[[ScenarioResult], float],
+) -> Dict[str, List[float]]:
+    """Seed-average a metric into per-protocol series over the x axis."""
+    series: Dict[str, List[float]] = {}
+    for protocol in protocols:
+        series[protocol] = [
+            mean([metric(r) for r in results[(x, protocol)]]) for x in x_values
+        ]
+    return series
+
+
+def aggregate_relative(
+    results: GridResults,
+    x_values: Sequence[float],
+    protocols: Sequence[str],
+    metric: Callable[[ScenarioResult], float],
+    baseline_protocol: str = "S-FAMA",
+) -> Dict[str, List[float]]:
+    """Like :func:`aggregate` but normalized per-x to a baseline protocol.
+
+    Raises:
+        ValueError: If ``baseline_protocol`` is not among ``protocols``
+            (the baseline must itself have been swept to normalize to it).
+    """
+    if baseline_protocol not in protocols:
+        raise ValueError(
+            f"baseline protocol {baseline_protocol!r} is not among the swept "
+            f"protocols {list(protocols)!r}; pass baseline_protocol= one of "
+            "those, or add it to the sweep"
+        )
+    absolute = aggregate(results, x_values, protocols, metric)
+    baseline = absolute[baseline_protocol]
+    series: Dict[str, List[float]] = {}
+    for protocol in protocols:
+        series[protocol] = [
+            value / base if base > 0 else 0.0
+            for value, base in zip(absolute[protocol], baseline)
+        ]
+    return series
+
+
+# ----------------------------------------------------------------------
+# Layer 2: figure plans
+# ----------------------------------------------------------------------
+@dataclass
+class FigurePlan:
+    """A fully-resolved figure run: sweep, inputs, and aggregation.
+
+    Plan factories (``fig6_plan`` ... in
+    :mod:`~repro.experiments.figures`, ``chaos_figure_plan`` in
+    :mod:`~repro.experiments.chaos`) are declarative — they decide axes,
+    base configs, and metrics but never execute anything, so the same
+    plan can be keyed (:func:`request_key`), run locally
+    (:func:`run_plan`), or queued by the job service.
+    """
+
+    figure_id: str
+    spec: SweepSpec
+    base: ScenarioConfig
+    protocols: Tuple[str, ...]
+    seeds: Tuple[int, ...]
+    #: Turns the raw grid into the figure (aggregation + labels).
+    build: Callable[[GridResults], FigureData]
+    #: Optional post-run summary lines (the chaos audit counters).
+    summarize: Optional[Callable[[GridResults], List[str]]] = None
+
+    @property
+    def n_cells(self) -> int:
+        return len(list(self.spec.x_values)) * len(self.protocols) * len(self.seeds)
+
+
+def run_plan(
+    plan: FigurePlan,
+    progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+) -> FigureData:
+    """Execute a plan's sweep and build its figure."""
+    grid = run_sweep(
+        plan.spec,
+        plan.base,
+        protocols=plan.protocols,
+        seeds=plan.seeds,
+        progress=progress,
+        workers=workers,
+        cache=cache,
+        cell_timeout_s=cell_timeout_s,
+    )
+    return plan.build(grid)
+
+
+def apply_overrides(
+    base: ScenarioConfig, overrides: Optional[Mapping[str, object]]
+) -> ScenarioConfig:
+    """Apply request/CLI config overrides on top of a plan's base config.
+
+    Raises:
+        EngineError: On an unknown field or a value the config rejects —
+            a clean, named failure instead of a traceback, so front-ends
+            can map it to exit code 2 / HTTP 400.
+    """
+    if not overrides:
+        return base
+    valid = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = sorted(set(overrides) - valid)
+    if unknown:
+        raise EngineError(
+            f"unknown config override field(s) {unknown}; valid fields: "
+            f"{sorted(valid)}"
+        )
+    try:
+        return base.with_(**dict(overrides))
+    except (TypeError, ValueError) as exc:
+        raise EngineError(f"bad config override: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Layer 3: serializable requests (the job service's unit of work)
+# ----------------------------------------------------------------------
+#: Scalar types a request override may carry (JSON scalars).
+_SCALARS = (bool, int, float, str)
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A serializable description of one figure/chaos run.
+
+    Hashable and JSON-round-trippable: the REST API accepts exactly this
+    shape, and :func:`request_key` derives the job-store key from it.
+    ``overrides`` are ScenarioConfig field overrides applied on top of
+    the target's base config (sorted name/value pairs, so two requests
+    that differ only in override order are the same request).
+    """
+
+    target: str
+    quick: bool = False
+    seeds: Tuple[int, ...] = (1, 2, 3)
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
+        object.__setattr__(
+            self, "overrides", tuple(sorted((str(k), v) for k, v in self.overrides))
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepRequest":
+        """Validate and build a request from parsed JSON.
+
+        Raises:
+            EngineError: On any malformed field, with a message suitable
+                for an HTTP 400 body.
+        """
+        if not isinstance(payload, Mapping):
+            raise EngineError("request body must be a JSON object")
+        unknown = sorted(set(payload) - {"target", "quick", "seeds", "overrides"})
+        if unknown:
+            raise EngineError(f"unknown request field(s): {unknown}")
+        target = payload.get("target")
+        if not isinstance(target, str) or not target:
+            raise EngineError("request needs a string 'target' (e.g. \"fig6\")")
+        quick = payload.get("quick", False)
+        if not isinstance(quick, bool):
+            raise EngineError("'quick' must be a boolean")
+        seeds = payload.get("seeds", [1, 2, 3])
+        if (
+            not isinstance(seeds, (list, tuple))
+            or not seeds
+            or not all(isinstance(s, int) and not isinstance(s, bool) for s in seeds)
+        ):
+            raise EngineError("'seeds' must be a non-empty list of integers")
+        overrides = payload.get("overrides", {})
+        if not isinstance(overrides, Mapping):
+            raise EngineError("'overrides' must be an object of config fields")
+        for name, value in overrides.items():
+            if not isinstance(value, _SCALARS) or value is None:
+                raise EngineError(
+                    f"override {name!r} must be a JSON scalar, got "
+                    f"{type(value).__name__}"
+                )
+        return cls(
+            target=target,
+            quick=quick,
+            seeds=tuple(seeds),
+            overrides=tuple(overrides.items()),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "quick": self.quick,
+            "seeds": list(self.seeds),
+            "overrides": dict(self.overrides),
+        }
+
+
+def _plan_factories() -> Dict[str, Callable[..., FigurePlan]]:
+    """Every servable target, by id (lazy: plans live in the front ends)."""
+    from .chaos import chaos_figure_plan
+    from .figures import ALL_PLANS
+
+    return {**ALL_PLANS, "chaos": chaos_figure_plan}
+
+
+def service_targets() -> Tuple[str, ...]:
+    """Target ids :func:`run_request` accepts, sorted."""
+    return tuple(sorted(_plan_factories()))
+
+
+def request_plan(request: SweepRequest) -> FigurePlan:
+    """Resolve a request into its executable plan.
+
+    Raises:
+        EngineError: Unknown target or invalid config overrides.
+    """
+    factories = _plan_factories()
+    factory = factories.get(request.target)
+    if factory is None:
+        raise EngineError(
+            f"unknown target {request.target!r}; known targets: "
+            f"{sorted(factories)}"
+        )
+    return factory(
+        seeds=request.seeds,
+        quick=request.quick,
+        overrides=dict(request.overrides) or None,
+    )
+
+
+def request_key(request: SweepRequest) -> str:
+    """Content-addressed job key for a request.
+
+    Reuses the result cache's per-cell digests
+    (:func:`~repro.experiments.cache.cell_key`, which cover every config
+    field, the batch parameters, and the source-tree digest), plus the
+    target id — fig6 and fig11 sweep identical cells but aggregate them
+    differently, so the target must participate.  Two identical
+    submissions always map to the same key; any source edit re-keys
+    every job.
+    """
+    from .cache import cell_key, code_version
+    from .parallel import expand_cells
+
+    plan = request_plan(request)
+    cells = expand_cells(plan.spec, plan.base, plan.protocols, plan.seeds)
+    version = code_version()
+    digest = hashlib.sha256()
+    digest.update(b"sweep-request\0")
+    digest.update(request.target.encode("utf-8") + b"\0")
+    digest.update(version.encode("utf-8") + b"\0")
+    for cell in cells:
+        digest.update(cell_key(cell.config, cell.batch, version).encode("ascii"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass
+class SweepResult:
+    """Everything one request run produced, in a JSON-friendly shape."""
+
+    request: SweepRequest
+    figure: FigureData
+    summary_lines: List[str] = field(default_factory=list)
+    #: Per-cell permanent failures: ``{"cell": label, "error": message}``.
+    failures: List[Dict[str, str]] = field(default_factory=list)
+    cells_total: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "request": self.request.to_dict(),
+            "figure": self.figure.to_dict(),
+            "summary_lines": list(self.summary_lines),
+            "failures": list(self.failures),
+            "cells_total": self.cells_total,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_stores": self.cache_stores,
+        }
+
+
+def run_request(
+    request: SweepRequest,
+    progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+) -> SweepResult:
+    """Execute a request end to end and return its :class:`SweepResult`.
+
+    Deterministic for a given request and source tree: the figure dict is
+    bit-identical to the corresponding direct figure-runner call (the CI
+    service smoke asserts this over HTTP).
+    """
+    plan = request_plan(request)
+    with observe_sweeps() as observer:
+        grid = run_sweep(
+            plan.spec,
+            plan.base,
+            protocols=plan.protocols,
+            seeds=plan.seeds,
+            progress=progress,
+            workers=workers,
+            cache=cache,
+            cell_timeout_s=cell_timeout_s,
+        )
+    figure = plan.build(grid)
+    summary = plan.summarize(grid) if plan.summarize is not None else []
+    return SweepResult(
+        request=request,
+        figure=figure,
+        summary_lines=summary,
+        failures=[
+            {"cell": failure.cell.label, "error": failure.error}
+            for failure in observer.failures
+        ],
+        cells_total=plan.n_cells,
+        cache_hits=observer.cache_hits,
+        cache_misses=observer.cache_misses,
+        cache_stores=observer.cache_stores,
+    )

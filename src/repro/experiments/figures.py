@@ -1,10 +1,19 @@
-"""Per-figure experiment runners (paper Sec. 5, Figs. 6-11).
+"""Per-figure experiment plans and runners (paper Sec. 5, Figs. 6-11).
 
-Each ``figN`` function regenerates the corresponding paper figure's data:
-the same x axis, the same four protocol series, the same metric.  Every
-function accepts ``quick=True`` for a scaled-down run (shorter window,
-single seed, coarser axis) used by the benchmark suite, and ``seeds`` for
-replication control.
+Each figure is described *declaratively* by a plan factory
+(``fig6_plan`` ...): axes, base config, protocol set, seeds, and the
+aggregation that turns a raw sweep grid into a
+:class:`~repro.experiments.engine.FigureData`.  The factories never
+execute anything — the pure engine does
+(:func:`~repro.experiments.engine.run_plan`), so the same plan can be
+run by the CLI, keyed and queued by the job service, or benchmarked.
+
+The classic ``figN(...)`` runners remain as thin callers over their
+plans with unchanged signatures.  Every runner accepts ``quick=True``
+for a scaled-down run (shorter window, single seed, coarser axis) used
+by the benchmark suite, ``seeds`` for replication control, and
+``overrides`` for ad-hoc base-config tweaks (the CLI's ``--override``
+and the service's request overrides).
 
 :data:`PAPER_EXPECTATIONS` records what the original figure shows, so the
 reports (and EXPERIMENTS.md) can place measured series next to the paper's
@@ -13,36 +22,23 @@ claims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from .config import ScenarioConfig, table2_config
-from .sweeps import (
+from .engine import (
     PAPER_PROTOCOLS,
+    FigureData,
+    FigurePlan,
+    GridResults,
     SweepSpec,
     aggregate,
     aggregate_relative,
-    run_sweep,
+    apply_overrides,
+    run_plan,
 )
 
 Progress = Optional[Callable[[str], None]]
-
-
-@dataclass
-class FigureData:
-    """One regenerated figure: x axis plus a series per protocol."""
-
-    figure_id: str
-    title: str
-    x_label: str
-    y_label: str
-    x_values: List[float]
-    series: Dict[str, List[float]]
-    notes: str = ""
-
-    def value(self, protocol: str, x: float) -> float:
-        """Series value for a protocol at an x-axis point."""
-        return self.series[protocol][self.x_values.index(x)]
+Overrides = Optional[Mapping[str, object]]
 
 
 #: What the paper's figures show (orderings, crossovers, magnitudes).
@@ -98,9 +94,48 @@ def _steady_spec(
     return SweepSpec(x_values=list(x_values), configure=configure)
 
 
+def _plan_seeds(seeds: Sequence[int], quick: bool) -> Tuple[int, ...]:
+    """Quick mode runs a single seed; full mode runs them all."""
+    seeds = tuple(int(s) for s in seeds)
+    return seeds[:1] if quick else seeds
+
+
 # ----------------------------------------------------------------------
 # Fig. 6 — throughput vs offered load
 # ----------------------------------------------------------------------
+def fig6_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 6: throughput at different offered loads (60 sensors)."""
+    loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+    base = apply_overrides(
+        table2_config(sim_time_s=100.0 if quick else 300.0), overrides
+    )
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(results, loads, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
+        return FigureData(
+            figure_id="fig6",
+            title="Throughput at different offer loads",
+            x_label="Offered load (kbps)",
+            y_label="Throughput (kbps)",
+            x_values=list(loads),
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig6"],
+        )
+
+    return FigurePlan(
+        figure_id="fig6",
+        spec=_steady_spec(loads, "offered_load_kbps"),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
+    )
+
+
 def fig6(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
@@ -108,35 +143,55 @@ def fig6(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
     """Paper Fig. 6: throughput at different offered loads (60 sensors)."""
-    loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
-    base = table2_config(sim_time_s=100.0 if quick else 300.0)
-    seeds = seeds[:1] if quick else seeds
-    results = run_sweep(
-        _steady_spec(loads, "offered_load_kbps"),
-        base,
-        seeds=seeds,
+    return run_plan(
+        fig6_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate(results, loads, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
-    return FigureData(
-        figure_id="fig6",
-        title="Throughput at different offer loads",
-        x_label="Offered load (kbps)",
-        y_label="Throughput (kbps)",
-        x_values=list(loads),
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig6"],
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 7 — throughput vs node density
 # ----------------------------------------------------------------------
+def fig7_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 7: throughput at different sensor densities (0.8 kbps)."""
+    nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
+    base = apply_overrides(
+        table2_config(offered_load_kbps=0.8, sim_time_s=100.0 if quick else 300.0),
+        overrides,
+    )
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(results, nodes, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
+        return FigureData(
+            figure_id="fig7",
+            title="Throughput at different network sensor densities",
+            x_label="Number of nodes",
+            y_label="Throughput (kbps)",
+            x_values=[float(n) for n in nodes],
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig7"],
+        )
+
+    return FigurePlan(
+        figure_id="fig7",
+        spec=_steady_spec(nodes, "n_sensors"),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
+    )
+
+
 def fig7(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
@@ -144,52 +199,34 @@ def fig7(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
     """Paper Fig. 7: throughput at different sensor densities (0.8 kbps)."""
-    nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
-    base = table2_config(
-        offered_load_kbps=0.8, sim_time_s=100.0 if quick else 300.0
-    )
-    seeds = seeds[:1] if quick else seeds
-    results = run_sweep(
-        _steady_spec(nodes, "n_sensors"),
-        base,
-        seeds=seeds,
+    return run_plan(
+        fig7_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate(results, nodes, PAPER_PROTOCOLS, lambda r: r.throughput_kbps)
-    return FigureData(
-        figure_id="fig7",
-        title="Throughput at different network sensor densities",
-        x_label="Number of nodes",
-        y_label="Throughput (kbps)",
-        x_values=[float(n) for n in nodes],
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig7"],
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 8 — execution time vs offered load (batch drain)
 # ----------------------------------------------------------------------
-def fig8(
+def fig8_plan(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
-    progress: Progress = None,
-    workers: Optional[int] = 1,
-    cache: object = None,
-    cell_timeout_s: Optional[float] = None,
-) -> FigureData:
+    overrides: Overrides = None,
+) -> FigurePlan:
     """Paper Fig. 8: time to complete a fixed batch of transmissions."""
     loads = [0.1, 0.6, 1.0] if quick else [0.01, 0.2, 0.4, 0.6, 0.8, 1.0]
     window_s = 300.0  # the paper's load->packets calibration window
     # "Time for successful transmission": every batch packet must complete,
     # so the retry budget is effectively unlimited in batch experiments.
-    base = table2_config(sim_time_s=window_s, max_retries=100)
-    seeds = seeds[:1] if quick else seeds
+    base = apply_overrides(
+        table2_config(sim_time_s=window_s, max_retries=100), overrides
+    )
 
     def batch_size(x: float, config: ScenarioConfig):
         n_packets = max(1, round(x * 1000.0 * window_s / config.data_packet_bits))
@@ -198,34 +235,53 @@ def fig8(
         max_time = 1800.0 if quick else 7200.0
         return n_packets, max_time
 
-    spec = SweepSpec(
-        x_values=list(loads),
-        configure=_steady_spec(loads, "offered_load_kbps").configure,
-        batch=batch_size,
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(
+            results,
+            loads,
+            PAPER_PROTOCOLS,
+            lambda r: r.execution.drain_time_s if r.execution else 0.0,
+        )
+        return FigureData(
+            figure_id="fig8",
+            title="Relationship between execution time and offer load",
+            x_label="Offered load (kbps)",
+            y_label="Execution time (s)",
+            x_values=list(loads),
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig8"],
+        )
+
+    return FigurePlan(
+        figure_id="fig8",
+        spec=SweepSpec(
+            x_values=list(loads),
+            configure=_steady_spec(loads, "offered_load_kbps").configure,
+            batch=batch_size,
+        ),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
     )
-    results = run_sweep(
-        spec,
-        base,
-        seeds=seeds,
+
+
+def fig8(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
+) -> FigureData:
+    """Paper Fig. 8: time to complete a fixed batch of transmissions."""
+    return run_plan(
+        fig8_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate(
-        results,
-        loads,
-        PAPER_PROTOCOLS,
-        lambda r: r.execution.drain_time_s if r.execution else 0.0,
-    )
-    return FigureData(
-        figure_id="fig8",
-        title="Relationship between execution time and offer load",
-        x_label="Offered load (kbps)",
-        y_label="Execution time (s)",
-        x_values=list(loads),
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig8"],
     )
 
 
@@ -251,14 +307,11 @@ def _fig9_batch(x: float, config: ScenarioConfig, quick: bool):
     return n_packets, (1800.0 if quick else 7200.0)
 
 
-def fig9a(
+def fig9a_plan(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
-    progress: Progress = None,
-    workers: Optional[int] = 1,
-    cache: object = None,
-    cell_timeout_s: Optional[float] = None,
-) -> FigureData:
+    overrides: Overrides = None,
+) -> FigurePlan:
     """Paper Fig. 9a: energy to deliver the offered information, 80 sensors.
 
     Batch-drain experiment (Sec. 5.2 compares protocols "when they transmit
@@ -266,31 +319,94 @@ def fig9a(
     and two-hop protocols pay maintenance, both raising total energy.
     """
     loads = [0.1, 0.4, 0.8] if quick else [0.01, 0.2, 0.4, 0.6, 0.8]
-    base = table2_config(n_sensors=80, sim_time_s=_FIG9_WINDOW_S, max_retries=100)
-    seeds = seeds[:1] if quick else seeds
-    spec = SweepSpec(
-        x_values=list(loads),
-        configure=_steady_spec(loads, "offered_load_kbps").configure,
-        batch=lambda x, config: _fig9_batch(x, config, quick),
+    base = apply_overrides(
+        table2_config(n_sensors=80, sim_time_s=_FIG9_WINDOW_S, max_retries=100),
+        overrides,
     )
-    results = run_sweep(
-        spec,
-        base,
-        seeds=seeds,
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(results, loads, PAPER_PROTOCOLS, _batch_energy_mw)
+        return FigureData(
+            figure_id="fig9a",
+            title="Power consumption vs offered load (80 sensors)",
+            x_label="Offered load (kbps)",
+            y_label="Power consumption (mW, drain energy / 300 s)",
+            x_values=list(loads),
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig9a"],
+        )
+
+    return FigurePlan(
+        figure_id="fig9a",
+        spec=SweepSpec(
+            x_values=list(loads),
+            configure=_steady_spec(loads, "offered_load_kbps").configure,
+            batch=lambda x, config: _fig9_batch(x, config, quick),
+        ),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
+    )
+
+
+def fig9a(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    progress: Progress = None,
+    workers: Optional[int] = 1,
+    cache: object = None,
+    cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
+) -> FigureData:
+    """Paper Fig. 9a: energy to deliver the offered information, 80 sensors."""
+    return run_plan(
+        fig9a_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
     )
-    series = aggregate(results, loads, PAPER_PROTOCOLS, _batch_energy_mw)
-    return FigureData(
-        figure_id="fig9a",
-        title="Power consumption vs offered load (80 sensors)",
-        x_label="Offered load (kbps)",
-        y_label="Power consumption (mW, drain energy / 300 s)",
-        x_values=list(loads),
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig9a"],
+
+
+def fig9b_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 9b: drain energy vs number of sensors at 0.3 kbps."""
+    nodes = [60, 90, 120] if quick else [60, 80, 100, 120]
+    base = apply_overrides(
+        table2_config(
+            offered_load_kbps=0.3, sim_time_s=_FIG9_WINDOW_S, max_retries=100
+        ),
+        overrides,
+    )
+    x_values = [float(n) for n in nodes]
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate(results, x_values, PAPER_PROTOCOLS, _batch_energy_mw)
+        return FigureData(
+            figure_id="fig9b",
+            title="Power consumption vs number of sensors (0.3 kbps)",
+            x_label="Number of nodes",
+            y_label="Power consumption (mW, drain energy / 300 s)",
+            x_values=x_values,
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig9b"],
+        )
+
+    return FigurePlan(
+        figure_id="fig9b",
+        spec=SweepSpec(
+            x_values=x_values,
+            configure=_steady_spec(nodes, "n_sensors").configure,
+            batch=lambda x, config: _fig9_batch(0.3, config, quick),
+        ),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
     )
 
 
@@ -301,44 +417,57 @@ def fig9b(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
     """Paper Fig. 9b: drain energy vs number of sensors at 0.3 kbps."""
-    nodes = [60, 90, 120] if quick else [60, 80, 100, 120]
-    base = table2_config(
-        offered_load_kbps=0.3, sim_time_s=_FIG9_WINDOW_S, max_retries=100
-    )
-    seeds = seeds[:1] if quick else seeds
-    spec = SweepSpec(
-        x_values=[float(n) for n in nodes],
-        configure=_steady_spec(nodes, "n_sensors").configure,
-        batch=lambda x, config: _fig9_batch(0.3, config, quick),
-    )
-    results = run_sweep(
-        spec,
-        base,
-        seeds=seeds,
+    return run_plan(
+        fig9b_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate(
-        results, [float(n) for n in nodes], PAPER_PROTOCOLS, _batch_energy_mw
-    )
-    return FigureData(
-        figure_id="fig9b",
-        title="Power consumption vs number of sensors (0.3 kbps)",
-        x_label="Number of nodes",
-        y_label="Power consumption (mW, drain energy / 300 s)",
-        x_values=[float(n) for n in nodes],
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig9b"],
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 10 — overhead
 # ----------------------------------------------------------------------
+def fig10a_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 10a: overhead ratio vs node count at 0.5 kbps."""
+    nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
+    base = apply_overrides(
+        table2_config(offered_load_kbps=0.5, sim_time_s=100.0 if quick else 300.0),
+        overrides,
+    )
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate_relative(
+            results, nodes, PAPER_PROTOCOLS, lambda r: r.overhead_units
+        )
+        return FigureData(
+            figure_id="fig10a",
+            title="Overhead ratio vs number of sensors (0.5 kbps)",
+            x_label="Number of nodes",
+            y_label="Overhead (ratio to S-FAMA)",
+            x_values=[float(n) for n in nodes],
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig10a"],
+        )
+
+    return FigurePlan(
+        figure_id="fig10a",
+        spec=_steady_spec(nodes, "n_sensors"),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
+    )
+
+
 def fig10a(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
@@ -346,33 +475,57 @@ def fig10a(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
     """Paper Fig. 10a: overhead ratio vs node count at 0.5 kbps."""
-    nodes = [60, 100, 140] if quick else [60, 80, 100, 120, 140]
-    base = table2_config(
-        offered_load_kbps=0.5, sim_time_s=100.0 if quick else 300.0
-    )
-    seeds = seeds[:1] if quick else seeds
-    results = run_sweep(
-        _steady_spec(nodes, "n_sensors"),
-        base,
-        seeds=seeds,
+    return run_plan(
+        fig10a_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
     )
-    series = aggregate_relative(
-        results, nodes, PAPER_PROTOCOLS, lambda r: r.overhead_units
+
+
+def fig10b_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 10b: overhead ratio vs offered load (dense network).
+
+    The paper uses 200 sensors; the full runner follows suit, the quick
+    variant uses 100 to bound benchmark time.
+    """
+    loads = [0.4, 0.8] if quick else [0.4, 0.5, 0.6, 0.7, 0.8]
+    base = apply_overrides(
+        table2_config(
+            n_sensors=100 if quick else 200, sim_time_s=100.0 if quick else 300.0
+        ),
+        overrides,
     )
-    return FigureData(
-        figure_id="fig10a",
-        title="Overhead ratio vs number of sensors (0.5 kbps)",
-        x_label="Number of nodes",
-        y_label="Overhead (ratio to S-FAMA)",
-        x_values=[float(n) for n in nodes],
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig10a"],
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate_relative(
+            results, loads, PAPER_PROTOCOLS, lambda r: r.overhead_units
+        )
+        return FigureData(
+            figure_id="fig10b",
+            title="Overhead ratio vs offered load (dense deployment)",
+            x_label="Offered load (kbps)",
+            y_label="Overhead (ratio to S-FAMA)",
+            x_values=list(loads),
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig10b"],
+        )
+
+    return FigurePlan(
+        figure_id="fig10b",
+        spec=_steady_spec(loads, "offered_load_kbps"),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
     )
 
 
@@ -383,43 +536,56 @@ def fig10b(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
-    """Paper Fig. 10b: overhead ratio vs offered load (dense network).
-
-    The paper uses 200 sensors; the full runner follows suit, the quick
-    variant uses 100 to bound benchmark time.
-    """
-    loads = [0.4, 0.8] if quick else [0.4, 0.5, 0.6, 0.7, 0.8]
-    base = table2_config(
-        n_sensors=100 if quick else 200, sim_time_s=100.0 if quick else 300.0
-    )
-    seeds = seeds[:1] if quick else seeds
-    results = run_sweep(
-        _steady_spec(loads, "offered_load_kbps"),
-        base,
-        seeds=seeds,
+    """Paper Fig. 10b: overhead ratio vs offered load (dense network)."""
+    return run_plan(
+        fig10b_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate_relative(
-        results, loads, PAPER_PROTOCOLS, lambda r: r.overhead_units
-    )
-    return FigureData(
-        figure_id="fig10b",
-        title="Overhead ratio vs offered load (dense deployment)",
-        x_label="Offered load (kbps)",
-        y_label="Overhead (ratio to S-FAMA)",
-        x_values=list(loads),
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig10b"],
     )
 
 
 # ----------------------------------------------------------------------
 # Fig. 11 — efficiency index
 # ----------------------------------------------------------------------
+def fig11_plan(
+    seeds: Sequence[int] = (1, 2, 3),
+    quick: bool = False,
+    overrides: Overrides = None,
+) -> FigurePlan:
+    """Paper Fig. 11: Eq. (4) efficiency index, S-FAMA normalized to 1."""
+    loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
+    base = apply_overrides(
+        table2_config(sim_time_s=100.0 if quick else 300.0), overrides
+    )
+
+    def build(results: GridResults) -> FigureData:
+        series = aggregate_relative(
+            results, loads, PAPER_PROTOCOLS, lambda r: r.efficiency.value
+        )
+        return FigureData(
+            figure_id="fig11",
+            title="Efficiency indexes for different offered loads",
+            x_label="Offered load (kbps)",
+            y_label="Efficiency index (S-FAMA = 1)",
+            x_values=list(loads),
+            series=series,
+            notes=PAPER_EXPECTATIONS["fig11"],
+        )
+
+    return FigurePlan(
+        figure_id="fig11",
+        spec=_steady_spec(loads, "offered_load_kbps"),
+        base=base,
+        protocols=PAPER_PROTOCOLS,
+        seeds=_plan_seeds(seeds, quick),
+        build=build,
+    )
+
+
 def fig11(
     seeds: Sequence[int] = (1, 2, 3),
     quick: bool = False,
@@ -427,31 +593,15 @@ def fig11(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    overrides: Overrides = None,
 ) -> FigureData:
     """Paper Fig. 11: Eq. (4) efficiency index, S-FAMA normalized to 1."""
-    loads = [0.2, 0.6, 1.0] if quick else [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
-    base = table2_config(sim_time_s=100.0 if quick else 300.0)
-    seeds = seeds[:1] if quick else seeds
-    results = run_sweep(
-        _steady_spec(loads, "offered_load_kbps"),
-        base,
-        seeds=seeds,
+    return run_plan(
+        fig11_plan(seeds, quick, overrides),
         progress=progress,
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
-    )
-    series = aggregate_relative(
-        results, loads, PAPER_PROTOCOLS, lambda r: r.efficiency.value
-    )
-    return FigureData(
-        figure_id="fig11",
-        title="Efficiency indexes for different offered loads",
-        x_label="Offered load (kbps)",
-        y_label="Efficiency index (S-FAMA = 1)",
-        x_values=list(loads),
-        series=series,
-        notes=PAPER_EXPECTATIONS["fig11"],
     )
 
 
@@ -465,4 +615,16 @@ ALL_FIGURES: Dict[str, Callable[..., FigureData]] = {
     "fig10a": fig10a,
     "fig10b": fig10b,
     "fig11": fig11,
+}
+
+#: Every figure plan factory by id, for the engine's request layer.
+ALL_PLANS: Dict[str, Callable[..., FigurePlan]] = {
+    "fig6": fig6_plan,
+    "fig7": fig7_plan,
+    "fig8": fig8_plan,
+    "fig9a": fig9a_plan,
+    "fig9b": fig9b_plan,
+    "fig10a": fig10a_plan,
+    "fig10b": fig10b_plan,
+    "fig11": fig11_plan,
 }

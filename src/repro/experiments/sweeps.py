@@ -1,136 +1,28 @@
-"""Parameter-sweep machinery: run grids of scenarios and aggregate seeds."""
+"""Compatibility shim: the sweep machinery now lives in :mod:`.engine`.
 
-from __future__ import annotations
+The pure engine split moved :class:`SweepSpec`, :func:`run_sweep`, and
+the aggregation helpers into :mod:`repro.experiments.engine` so the
+CLI, benchmarks, and the job service all share one import-side-effect-free
+core.  Existing imports from ``repro.experiments.sweeps`` keep working
+through this module.
+"""
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from .engine import (  # noqa: F401
+    GridResults,
+    PAPER_PROTOCOLS,
+    SweepSpec,
+    aggregate,
+    aggregate_relative,
+    mean,
+    run_sweep,
+)
 
-from .config import ScenarioConfig
-from .scenario import Scenario, ScenarioResult
-
-#: The paper's protocol set, in its legend order.
-PAPER_PROTOCOLS: Tuple[str, ...] = ("S-FAMA", "ROPA", "CS-MAC", "EW-MAC")
-
-#: A grid cell: results of every seed for one (x, protocol) pair.
-GridResults = Dict[Tuple[float, str], List[ScenarioResult]]
-
-
-def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
-    return sum(values) / len(values) if values else 0.0
-
-
-@dataclass
-class SweepSpec:
-    """One sweep axis: x values and how each x customizes the config.
-
-    Attributes:
-        x_values: Sweep axis values (offered loads, node counts, ...).
-        configure: Maps (base_config, x, protocol, seed) to the scenario
-            config for that grid cell.
-        batch: If set, maps x to (n_packets, max_time_s) and scenarios run
-            in batch-drain mode instead of steady state (Fig. 8).
-    """
-
-    x_values: Sequence[float]
-    configure: Callable[[ScenarioConfig, float, str, int], ScenarioConfig]
-    batch: Optional[Callable[[float, ScenarioConfig], Tuple[int, float]]] = None
-
-
-def run_sweep(
-    spec: SweepSpec,
-    base: ScenarioConfig,
-    protocols: Sequence[str] = PAPER_PROTOCOLS,
-    seeds: Sequence[int] = (1, 2, 3),
-    progress: Optional[Callable[[str], None]] = None,
-    workers: Optional[int] = 1,
-    cache: object = None,
-    cell_timeout_s: Optional[float] = None,
-) -> GridResults:
-    """Run every (x, protocol, seed) cell of a sweep.
-
-    Args:
-        workers: ``1`` (default) runs the classic in-process loop;
-            ``N > 1`` (or ``None``/``0`` for the CPU count) fans cells out
-            over a spawn-safe process pool via
-            :class:`~repro.experiments.parallel.ParallelSweepRunner`.
-            Cell order, seed pairing, and results are identical either way.
-        cache: ``None`` (off), ``True`` (default on-disk location), a
-            directory path, or a
-            :class:`~repro.experiments.cache.ResultCache` — previously
-            computed cells are reused instead of re-simulated.
-        cell_timeout_s: Optional per-cell wall-clock budget (pooled runs
-            only); cells that exceed it are re-run serially to completion.
-    """
-    if (workers is None or workers != 1) or cache not in (None, False):
-        from .parallel import ParallelSweepRunner
-
-        runner = ParallelSweepRunner(
-            workers=workers,
-            cache=cache,
-            cell_timeout_s=cell_timeout_s,
-            progress=progress,
-        )
-        return runner.run(spec, base, protocols=protocols, seeds=seeds)
-    results: GridResults = {}
-    for x in spec.x_values:
-        for protocol in protocols:
-            cell: List[ScenarioResult] = []
-            for seed in seeds:
-                config = spec.configure(base, x, protocol, seed)
-                scenario = Scenario(config)
-                if spec.batch is not None:
-                    n_packets, max_time = spec.batch(x, config)
-                    result = scenario.run_batch(n_packets, max_time)
-                else:
-                    result = scenario.run_steady_state()
-                cell.append(result)
-                if progress is not None:
-                    progress(f"{protocol} x={x} seed={seed} done")
-            results[(x, protocol)] = cell
-    return results
-
-
-def aggregate(
-    results: GridResults,
-    x_values: Sequence[float],
-    protocols: Sequence[str],
-    metric: Callable[[ScenarioResult], float],
-) -> Dict[str, List[float]]:
-    """Seed-average a metric into per-protocol series over the x axis."""
-    series: Dict[str, List[float]] = {}
-    for protocol in protocols:
-        series[protocol] = [
-            mean([metric(r) for r in results[(x, protocol)]]) for x in x_values
-        ]
-    return series
-
-
-def aggregate_relative(
-    results: GridResults,
-    x_values: Sequence[float],
-    protocols: Sequence[str],
-    metric: Callable[[ScenarioResult], float],
-    baseline_protocol: str = "S-FAMA",
-) -> Dict[str, List[float]]:
-    """Like :func:`aggregate` but normalized per-x to a baseline protocol.
-
-    Raises:
-        ValueError: If ``baseline_protocol`` is not among ``protocols``
-            (the baseline must itself have been swept to normalize to it).
-    """
-    if baseline_protocol not in protocols:
-        raise ValueError(
-            f"baseline protocol {baseline_protocol!r} is not among the swept "
-            f"protocols {list(protocols)!r}; pass baseline_protocol= one of "
-            "those, or add it to the sweep"
-        )
-    absolute = aggregate(results, x_values, protocols, metric)
-    baseline = absolute[baseline_protocol]
-    series: Dict[str, List[float]] = {}
-    for protocol in protocols:
-        series[protocol] = [
-            value / base if base > 0 else 0.0
-            for value, base in zip(absolute[protocol], baseline)
-        ]
-    return series
+__all__ = [
+    "GridResults",
+    "PAPER_PROTOCOLS",
+    "SweepSpec",
+    "aggregate",
+    "aggregate_relative",
+    "mean",
+    "run_sweep",
+]

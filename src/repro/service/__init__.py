@@ -1,0 +1,40 @@
+"""Simulation-as-a-service: job store, worker pool, and REST front-end.
+
+The service is a thin, stdlib-only shell around the pure sweep engine
+(:mod:`repro.experiments.engine`):
+
+* :mod:`~repro.service.store` — a persistent sqlite job store keyed by
+  content-addressed request digests, so identical submissions dedupe to
+  one run and jobs survive (and requeue across) process crashes;
+* :mod:`~repro.service.worker` — background worker threads that drain
+  the store through :func:`~repro.experiments.engine.run_request`
+  (which itself fans cells over the spawn-safe process pool and the
+  shared on-disk result cache);
+* :mod:`~repro.service.api` — an ``http.server``-based REST API with
+  long-poll and Server-Sent-Events progress streaming, exposed as
+  ``repro-uasn serve``.
+"""
+
+from .api import ServiceServer, make_server, serve
+from .store import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobStore,
+)
+from .worker import WorkerPool
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "JobRecord",
+    "JobStore",
+    "ServiceServer",
+    "WorkerPool",
+    "make_server",
+    "serve",
+]

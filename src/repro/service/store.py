@@ -1,0 +1,269 @@
+"""Persistent job store for the simulation service.
+
+Jobs are keyed by :func:`repro.experiments.engine.request_key` — a
+content-addressed digest over the request's sweep cells and the source
+tree — so the store *is* the dedupe layer: submitting a request whose
+key already exists attaches to the existing job instead of queueing a
+second run.  (The per-cell result cache below the engine additionally
+makes any genuine re-run of identical cells free.)
+
+State machine::
+
+    queued ──claim──> running ──finish──> done
+                        │
+                        └──fail──> failed ──resubmit──> queued
+
+A job found ``running`` when the store opens belonged to a worker that
+died mid-run (process crash, SIGKILL); it is requeued automatically so a
+restarted service resumes exactly where it stopped.  Every transition is
+one sqlite transaction, serialized through an in-process lock *and*
+sqlite's own file locking, so multiple worker threads — or multiple
+service processes sharing the store file — can claim jobs safely.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Every legal state, in lifecycle order.
+STATES = (QUEUED, RUNNING, DONE, FAILED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    key          TEXT PRIMARY KEY,
+    request      TEXT NOT NULL,
+    state        TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    error        TEXT NOT NULL DEFAULT '',
+    result       TEXT
+);
+CREATE TABLE IF NOT EXISTS progress (
+    id   INTEGER PRIMARY KEY AUTOINCREMENT,
+    key  TEXT NOT NULL,
+    at   REAL NOT NULL,
+    line TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS progress_by_key ON progress (key, id);
+"""
+
+
+@dataclass
+class JobRecord:
+    """One job's stored state (a row of the ``jobs`` table)."""
+
+    key: str
+    request: Dict[str, object]
+    state: str
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    attempts: int = 0
+    error: str = ""
+    result: Optional[Dict[str, object]] = None
+    progress: List[str] = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def to_dict(self, include_result: bool = False) -> Dict[str, object]:
+        """JSON shape served by the API (results are a separate fetch)."""
+        payload: Dict[str, object] = {
+            "key": self.key,
+            "request": self.request,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """Sqlite-backed job queue with content-addressed dedupe.
+
+    Args:
+        path: Store file (created on first use).  Parent directories are
+            created as needed.
+        requeue: Requeue jobs left ``running`` by a crashed worker as
+            soon as the store opens (the crash-recovery path).  Pass
+            ``False`` when opening read-only alongside a live service.
+    """
+
+    def __init__(self, path: Union[str, Path], requeue: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            str(self.path), check_same_thread=False, timeout=30.0
+        )
+        self._conn.row_factory = sqlite3.Row
+        with self._lock, self._conn:
+            self._conn.executescript(_SCHEMA)
+        self.requeued_on_open = self.requeue_running() if requeue else 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # ------------------------------------------------------------------
+    def _row_to_record(self, row: sqlite3.Row) -> JobRecord:
+        result = row["result"]
+        return JobRecord(
+            key=row["key"],
+            request=json.loads(row["request"]),
+            state=row["state"],
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            attempts=row["attempts"],
+            error=row["error"],
+            result=json.loads(result) if result else None,
+        )
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, key: str, request: Dict[str, object]
+    ) -> Tuple[JobRecord, bool]:
+        """Queue a job, or dedupe onto the existing one.
+
+        Returns ``(record, deduped)``.  ``deduped`` is True when the key
+        already had a live (queued/running/done) job — the caller gets
+        that job's state with **no new run scheduled**.  A previously
+        *failed* job is requeued instead (resubmission is the retry
+        button), reported as ``deduped=False``.
+        """
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO jobs (key, request, state, submitted_at) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, json.dumps(request), QUEUED, now),
+                )
+                return self.get(key), False
+            if row["state"] == FAILED:
+                self._conn.execute(
+                    "UPDATE jobs SET state = ?, error = '', finished_at = NULL, "
+                    "submitted_at = ? WHERE key = ?",
+                    (QUEUED, now, key),
+                )
+                return self.get(key), False
+            return self._row_to_record(row), True
+
+    def claim(self) -> Optional[JobRecord]:
+        """Atomically move the oldest queued job to ``running``."""
+        now = time.time()
+        with self._lock, self._conn:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = ? "
+                "ORDER BY submitted_at, key LIMIT 1",
+                (QUEUED,),
+            ).fetchone()
+            if row is None:
+                return None
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, started_at = ?, "
+                "attempts = attempts + 1 WHERE key = ?",
+                (RUNNING, now, row["key"]),
+            )
+        return self.get(row["key"])
+
+    def finish(self, key: str, result: Dict[str, object]) -> None:
+        """Mark a running job done and attach its result document."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, result = ? "
+                "WHERE key = ?",
+                (DONE, time.time(), json.dumps(result), key),
+            )
+
+    def fail(self, key: str, error: str, result: Optional[Dict[str, object]] = None) -> None:
+        """Mark a job failed, capturing the error (and any partial result)."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                "result = ? WHERE key = ?",
+                (
+                    FAILED,
+                    time.time(),
+                    error,
+                    json.dumps(result) if result is not None else None,
+                    key,
+                ),
+            )
+
+    def requeue_running(self) -> int:
+        """Requeue every ``running`` job (crash recovery); returns count."""
+        with self._lock, self._conn:
+            cursor = self._conn.execute(
+                "UPDATE jobs SET state = ? WHERE state = ?", (QUEUED, RUNNING)
+            )
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[JobRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE key = ?", (key,)
+            ).fetchone()
+        return self._row_to_record(row) if row is not None else None
+
+    def list_jobs(self) -> List[JobRecord]:
+        """Every job, newest submission first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY submitted_at DESC, key"
+            ).fetchall()
+        return [self._row_to_record(row) for row in rows]
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (zero-filled), for /healthz."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+            ).fetchall()
+        found = {row["state"]: row["n"] for row in rows}
+        return {state: found.get(state, 0) for state in STATES}
+
+    # ------------------------------------------------------------------
+    def add_progress(self, key: str, line: str) -> None:
+        """Append one progress line to a job's stream."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT INTO progress (key, at, line) VALUES (?, ?, ?)",
+                (key, time.time(), line),
+            )
+
+    def progress_since(
+        self, key: str, after_id: int = 0, limit: int = 1000
+    ) -> List[Tuple[int, str]]:
+        """Progress lines with id > ``after_id``, oldest first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT id, line FROM progress WHERE key = ? AND id > ? "
+                "ORDER BY id LIMIT ?",
+                (key, after_id, limit),
+            ).fetchall()
+        return [(row["id"], row["line"]) for row in rows]

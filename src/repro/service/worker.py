@@ -1,0 +1,136 @@
+"""Background worker pool: drains the job store through the sweep engine.
+
+Each worker is a daemon thread that claims the oldest queued job, runs it
+via :func:`repro.experiments.engine.run_request` (which fans sweep cells
+over the spawn-safe *process* pool and the shared content-addressed
+result cache), streams per-cell progress lines back into the store, and
+records the terminal state.  A run whose cells failed permanently marks
+the job ``failed`` with the cell errors — partial figures are stored but
+never silently served as complete.
+
+The engine call itself is injectable (``runner=``) so the store/API
+failure paths can be tested without simulating anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import Callable, Dict, List, Optional
+
+from ..experiments.engine import Progress, SweepRequest, SweepResult, run_request
+from .store import JobRecord, JobStore
+
+#: Executes one request; the default is the pure engine.
+Runner = Callable[[SweepRequest, Progress], SweepResult]
+
+
+class WorkerPool:
+    """Threads that claim, execute, and settle jobs from a :class:`JobStore`.
+
+    Args:
+        store: The shared job store.
+        n_workers: Worker threads.  Each worker runs one job at a time;
+            within a job the engine may fan out further via
+            ``run_kwargs["workers"]`` process workers.
+        run_kwargs: Extra keyword arguments for
+            :func:`~repro.experiments.engine.run_request`
+            (``workers``, ``cache``, ``cell_timeout_s``).
+        runner: Test seam replacing the engine call.
+        poll_interval_s: Idle sleep between claim attempts.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        n_workers: int = 1,
+        run_kwargs: Optional[Dict[str, object]] = None,
+        runner: Optional[Runner] = None,
+        poll_interval_s: float = 0.1,
+    ) -> None:
+        self.store = store
+        self.n_workers = max(1, int(n_workers))
+        self.run_kwargs = dict(run_kwargs or {})
+        self.poll_interval_s = poll_interval_s
+        self._runner = runner or self._engine_runner
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        #: Jobs this pool settled (done or failed), for tests/monitoring.
+        self.completed = 0
+
+    # ------------------------------------------------------------------
+    def _engine_runner(self, request: SweepRequest, progress: Progress) -> SweepResult:
+        return run_request(request, progress=progress, **self.run_kwargs)
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        for index in range(self.n_workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"repro-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Signal every worker to stop and join them.
+
+        A worker mid-job finishes (or fails) that job first; a job left
+        ``running`` by a worker that never got to finish is requeued the
+        next time the store opens.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+        self._threads = []
+
+    @property
+    def alive(self) -> bool:
+        return any(thread.is_alive() for thread in self._threads)
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self.store.claim()
+            except Exception:  # pragma: no cover - store torn down under us
+                return
+            if job is None:
+                self._stop.wait(self.poll_interval_s)
+                continue
+            self._execute(job)
+
+    def _execute(self, job: JobRecord) -> None:
+        key = job.key
+
+        def progress(line: str) -> None:
+            self.store.add_progress(key, line)
+
+        try:
+            request = SweepRequest.from_dict(job.request)
+            result = self._runner(request, progress)
+        except Exception as exc:
+            self.store.add_progress(key, f"failed: {type(exc).__name__}: {exc}")
+            self.store.fail(
+                key,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            )
+            self.completed += 1
+            return
+        if result.failures:
+            labels = ", ".join(f["cell"] for f in result.failures)
+            self.store.add_progress(
+                key, f"finished with {len(result.failures)} failed cell(s)"
+            )
+            # Keep the partial result for inspection, but the job is failed:
+            # a figure with missing cells must never be served as complete.
+            self.store.fail(
+                key,
+                f"{len(result.failures)} sweep cell(s) failed permanently: {labels}",
+                result=result.to_dict(),
+            )
+        else:
+            self.store.add_progress(key, "done")
+            self.store.finish(key, result.to_dict())
+        self.completed += 1

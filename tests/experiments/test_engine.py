@@ -1,0 +1,169 @@
+"""The pure engine layer: purity, request keys, and service equivalence."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.engine import (
+    EngineError,
+    SweepRequest,
+    apply_overrides,
+    observe_sweeps,
+    request_key,
+    request_plan,
+    run_request,
+    service_targets,
+)
+from repro.experiments.figures import fig6
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Small enough for tier-1: 12 cells of a 6-node, 3-second scenario.
+TINY = {"n_sensors": 6, "sim_time_s": 3.0, "warmup_s": 2.0}
+
+
+def test_importing_engine_is_pure(tmp_path):
+    """Importing the engine writes nothing, prints nothing, reads no argv."""
+    code = (
+        "import sys\n"
+        "sys.argv = ['weird-binary', '--definitely-not-a-flag', 'fig999']\n"
+        "import repro.experiments.engine\n"
+        "import repro.experiments\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    env["PYTHONDONTWRITEBYTECODE"] = "1"
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout == ""
+    assert result.stderr == ""
+    assert list(tmp_path.iterdir()) == [], "import created files in cwd"
+
+
+class TestSweepRequest:
+    def test_from_dict_normalizes(self):
+        request = SweepRequest.from_dict(
+            {"target": "fig6", "quick": True, "seeds": [2, 1], "overrides": TINY}
+        )
+        assert request.target == "fig6"
+        assert request.seeds == (2, 1)
+        assert dict(request.overrides) == TINY
+        round_tripped = SweepRequest.from_dict(request.to_dict())
+        assert round_tripped == request
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"target": "fig6", "seeds": []},
+            {"target": "fig6", "seeds": ["one"]},
+            {"target": "fig6", "quick": "yes"},
+            {"target": "fig6", "surprise": 1},
+            {"target": "fig6", "overrides": {"n": [1, 2]}},
+            {"target": "fig6", "overrides": "n_sensors=6"},
+        ],
+    )
+    def test_from_dict_rejects_bad_payloads(self, payload):
+        with pytest.raises(EngineError):
+            SweepRequest.from_dict(payload)
+
+    def test_unknown_target_rejected_at_planning(self):
+        request = SweepRequest(target="fig999", quick=True, seeds=(1,))
+        with pytest.raises(EngineError, match="unknown target"):
+            request_plan(request)
+        with pytest.raises(EngineError, match="unknown target"):
+            request_key(request)
+
+    def test_service_targets_cover_figures_and_chaos(self):
+        targets = service_targets()
+        assert "fig6" in targets
+        assert "chaos" in targets
+        for target in targets:
+            plan = request_plan(SweepRequest(target=target, quick=True, seeds=(1,)))
+            assert plan.n_cells > 0
+
+
+class TestRequestKey:
+    def test_stable_under_override_ordering(self):
+        a = SweepRequest.from_dict(
+            {"target": "fig6", "overrides": {"n_sensors": 6, "sim_time_s": 3.0}}
+        )
+        b = SweepRequest.from_dict(
+            {"target": "fig6", "overrides": {"sim_time_s": 3.0, "n_sensors": 6}}
+        )
+        assert request_key(a) == request_key(b)
+
+    def test_sensitive_to_target_and_params(self):
+        base = {"target": "fig6", "quick": True, "seeds": [1], "overrides": TINY}
+        key = request_key(SweepRequest.from_dict(base))
+        # fig11 sweeps the same cells but aggregates differently: new key.
+        for variant in (
+            dict(base, target="fig11"),
+            dict(base, quick=False),
+            dict(base, seeds=[2]),
+            dict(base, overrides=dict(TINY, n_sensors=7)),
+        ):
+            assert request_key(SweepRequest.from_dict(variant)) != key
+
+    def test_key_shape(self):
+        key = request_key(SweepRequest(target="fig6", quick=True, seeds=(1,)))
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+
+def test_apply_overrides_validates_fields():
+    from repro.experiments.config import table2_config
+
+    base = table2_config()
+    assert apply_overrides(base, None) is base
+    small = apply_overrides(base, {"n_sensors": 6})
+    assert small.n_sensors == 6
+    with pytest.raises(EngineError, match="unknown config override"):
+        apply_overrides(base, {"bogus_field": 1})
+    with pytest.raises(EngineError, match="bad config override"):
+        apply_overrides(base, {"n_sensors": -5})
+
+
+def test_run_request_matches_direct_figure_call():
+    """The service path must be bit-identical to calling the runner directly."""
+    request = SweepRequest.from_dict(
+        {"target": "fig6", "quick": True, "seeds": [1], "overrides": TINY}
+    )
+    result = run_request(request, workers=1, cache=None)
+    direct = fig6(seeds=(1,), quick=True, cache=None, overrides=TINY)
+    assert json.dumps(result.to_dict()["figure"], sort_keys=True) == json.dumps(
+        direct.to_dict(), sort_keys=True
+    )
+    assert result.failures == []
+    assert result.cells_total == 12
+    # The whole document round-trips through JSON (the service wire format).
+    assert json.loads(json.dumps(result.to_dict())) == result.to_dict()
+
+
+def test_observer_collects_cache_traffic(tmp_path):
+    request = SweepRequest.from_dict(
+        {"target": "fig6", "quick": True, "seeds": [1], "overrides": TINY}
+    )
+    with observe_sweeps() as cold:
+        run_request(request, workers=1, cache=tmp_path / "cache")
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == 12
+    assert cold.cache_stores == 12
+    with observe_sweeps() as warm:
+        run_request(request, workers=1, cache=tmp_path / "cache")
+    assert warm.cache_hits == 12
+    assert warm.cache_misses == 0
+    assert "12 hit(s)" in warm.cache_line()

@@ -1,0 +1,144 @@
+"""Job-store state machine: dedupe, transitions, crash-requeue, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.store import DONE, FAILED, QUEUED, RUNNING, JobStore
+
+REQUEST = {"target": "fig6", "quick": True, "seeds": [1], "overrides": []}
+
+
+@pytest.fixture
+def store(tmp_path):
+    js = JobStore(tmp_path / "jobs.sqlite")
+    yield js
+    js.close()
+
+
+def test_submit_queues_new_job(store):
+    record, deduped = store.submit("a" * 64, REQUEST)
+    assert not deduped
+    assert record.state == QUEUED
+    assert record.attempts == 0
+    assert record.request == REQUEST
+
+
+def test_identical_submissions_dedupe_to_one_job(store):
+    key = "a" * 64
+    first, deduped_first = store.submit(key, REQUEST)
+    second, deduped_second = store.submit(key, REQUEST)
+    assert not deduped_first
+    assert deduped_second
+    assert second.key == first.key
+    assert len(store.list_jobs()) == 1
+    # Dedupe holds across the whole lifecycle, not just while queued.
+    store.claim()
+    third, deduped_third = store.submit(key, REQUEST)
+    assert deduped_third and third.state == RUNNING
+    store.finish(key, {"figure": {}})
+    fourth, deduped_fourth = store.submit(key, REQUEST)
+    assert deduped_fourth and fourth.state == DONE
+    assert fourth.attempts == 1
+
+
+def test_queued_running_done_transitions(store):
+    key = "b" * 64
+    store.submit(key, REQUEST)
+    claimed = store.claim()
+    assert claimed.key == key
+    assert claimed.state == RUNNING
+    assert claimed.attempts == 1
+    assert claimed.started_at is not None
+    assert store.claim() is None  # nothing else queued
+    store.finish(key, {"figure": {"x": 1}})
+    done = store.get(key)
+    assert done.state == DONE
+    assert done.terminal
+    assert done.finished_at is not None
+    assert done.result == {"figure": {"x": 1}}
+
+
+def test_claim_order_is_oldest_first(store):
+    store.submit("c" * 64, REQUEST)
+    store.submit("d" * 64, REQUEST)
+    assert store.claim().key == "c" * 64
+    assert store.claim().key == "d" * 64
+
+
+def test_crash_requeue_on_reopen(tmp_path):
+    path = tmp_path / "jobs.sqlite"
+    store = JobStore(path)
+    store.submit("e" * 64, REQUEST)
+    store.submit("f" * 64, REQUEST)
+    store.claim()  # worker takes the first job ...
+    store.close()  # ... and the process dies mid-run
+
+    reopened = JobStore(path)
+    assert reopened.requeued_on_open == 1
+    record = reopened.get("e" * 64)
+    assert record.state == QUEUED
+    # The retry still counts the first attempt.
+    assert reopened.claim().attempts == 2
+    reopened.close()
+
+
+def test_reopen_without_requeue_leaves_running(tmp_path):
+    path = tmp_path / "jobs.sqlite"
+    store = JobStore(path)
+    store.submit("g" * 64, REQUEST)
+    store.claim()
+    store.close()
+    observer = JobStore(path, requeue=False)
+    assert observer.requeued_on_open == 0
+    assert observer.get("g" * 64).state == RUNNING
+    observer.close()
+
+
+def test_failed_job_captures_error_and_partial_result(store):
+    key = "1" * 64
+    store.submit(key, REQUEST)
+    store.claim()
+    store.fail(key, "2 sweep cell(s) failed permanently: x=0.2/s1", result={"partial": True})
+    record = store.get(key)
+    assert record.state == FAILED
+    assert record.terminal
+    assert "failed permanently" in record.error
+    assert record.result == {"partial": True}
+
+
+def test_resubmitting_failed_job_requeues(store):
+    key = "2" * 64
+    store.submit(key, REQUEST)
+    store.claim()
+    store.fail(key, "boom")
+    record, deduped = store.submit(key, REQUEST)
+    assert not deduped  # retry, not a cache hit
+    assert record.state == QUEUED
+    assert record.error == ""
+    assert record.attempts == 1  # history preserved
+    assert store.claim().attempts == 2
+
+
+def test_counts_zero_filled(store):
+    assert store.counts() == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+    store.submit("3" * 64, REQUEST)
+    store.submit("4" * 64, REQUEST)
+    store.claim()
+    counts = store.counts()
+    assert counts["queued"] == 1
+    assert counts["running"] == 1
+
+
+def test_progress_stream_is_incremental(store):
+    key = "5" * 64
+    store.submit(key, REQUEST)
+    store.add_progress(key, "cell 1/12")
+    store.add_progress(key, "cell 2/12")
+    lines = store.progress_since(key)
+    assert [line for _, line in lines] == ["cell 1/12", "cell 2/12"]
+    last_id = lines[-1][0]
+    assert store.progress_since(key, after_id=last_id) == []
+    store.add_progress(key, "cell 3/12")
+    fresh = store.progress_since(key, after_id=last_id)
+    assert [line for _, line in fresh] == ["cell 3/12"]
