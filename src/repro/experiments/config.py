@@ -69,12 +69,26 @@ class ScenarioConfig:
     #: brought it back inside delivery reach.  Bit-identical either way;
     #: disable only for A/B profiling.  No effect when ``link_cache`` is off.
     delta_epochs: bool = True
+    #: The symmetric in-reach delta bound: a stale pair cached farther
+    #: *inside* a mask boundary than its accumulated displacement keeps its
+    #: masks without recompute, and its delay/level recompute is deferred
+    #: to the next broadcast fan-out build.  Bit-identical either way;
+    #: disable only for A/B profiling.  No effect when ``link_cache`` is off.
+    inreach_delta: bool = True
+    #: Schedule each broadcast's arrivals as one pre-sorted batch through
+    #: the DES core's ``push_bulk`` instead of one heap push per receiver.
+    #: Bit-identical either way (sequence numbers are assigned in the same
+    #: order); disable only for A/B profiling.
+    bulk_schedule: bool = True
     #: Recycle Arrival objects through a channel-owned free-list instead of
     #: allocating one per delivery (the top allocation site after events).
     #: Safe here because the MAC layer never retains arrivals past the
     #: receive callback; raw-channel users who do retain them get fresh
     #: allocations by default (the channel-level default is off).
     arrival_pool: bool = True
+    #: Upper bound on free-listed Arrival objects (memory guard for
+    #: pathological delivery bursts; irrelevant when ``arrival_pool`` is off).
+    arrival_pool_cap: int = 4096
     forwarding: bool = True
     queue_limit: int = 1000
     interference_range_factor: float = 2.0
@@ -98,6 +112,8 @@ class ScenarioConfig:
             raise ValueError("data packet size must be positive")
         if self.sim_time_s <= 0:
             raise ValueError("simulation time must be positive")
+        if self.arrival_pool_cap < 0:
+            raise ValueError("arrival_pool_cap must be >= 0")
 
     def with_(self, **overrides: object) -> "ScenarioConfig":
         """Copy with field overrides (sweep helper)."""

@@ -61,6 +61,8 @@ def scale_config(
     mobility: bool = True,
     spatial_grid: bool = True,
     delta_epochs: bool = True,
+    inreach_delta: bool = True,
+    bulk_schedule: bool = True,
 ):
     """One scale-sweep cell config: tiled columns at the Table 2 density."""
     return table2_config(
@@ -74,6 +76,8 @@ def scale_config(
         seed=seed,
         spatial_grid=spatial_grid,
         delta_epochs=delta_epochs,
+        inreach_delta=inreach_delta,
+        bulk_schedule=bulk_schedule,
     )
 
 
@@ -85,10 +89,11 @@ def ab_check(
     mobility: bool = True,
     progress: Progress = None,
 ) -> None:
-    """Online equivalence gate: grid+delta on vs off must be bit-identical.
+    """Online equivalence gate: all culls on vs off must be bit-identical.
 
-    Runs one cell twice — spatial grid and delta-epochs enabled, then both
-    disabled — and compares the canonical JSON of every figure metric
+    Runs one cell twice — spatial grid, delta-epochs, the in-reach delta
+    bound and the bulk-schedule fan-out all enabled, then all disabled —
+    and compares the canonical JSON of every figure metric
     (``result.to_dict()``, which excludes perf counters).  Raises
     AssertionError on any divergence; the CI scale-smoke job runs this so
     an equivalence break is caught on every push, not only when the full
@@ -97,17 +102,34 @@ def ab_check(
     base = scale_config(
         n_sensors, sim_time_s, seed=seed, protocol=protocol, mobility=mobility
     )
-    culled = run_scenario(base.with_(spatial_grid=True, delta_epochs=True))
-    full = run_scenario(base.with_(spatial_grid=False, delta_epochs=False))
+    culled = run_scenario(
+        base.with_(
+            spatial_grid=True,
+            delta_epochs=True,
+            inreach_delta=True,
+            bulk_schedule=True,
+        )
+    )
+    full = run_scenario(
+        base.with_(
+            spatial_grid=False,
+            delta_epochs=False,
+            inreach_delta=False,
+            bulk_schedule=False,
+        )
+    )
     flat_culled = json.dumps(culled.to_dict(), sort_keys=True)
     flat_full = json.dumps(full.to_dict(), sort_keys=True)
     if flat_culled != flat_full:
         raise AssertionError(
-            f"scale A/B check failed at n={n_sensors}: grid/delta-epoch run "
-            "diverged from the full-scan run"
+            f"scale A/B check failed at n={n_sensors}: grid/delta/bulk run "
+            "diverged from the scalar full-scan run"
         )
     if progress is not None:
-        progress(f"A/B check n={n_sensors}: grid+delta on == off (bit-identical)")
+        progress(
+            f"A/B check n={n_sensors}: grid+delta+inreach+bulk on == off "
+            "(bit-identical)"
+        )
 
 
 def scale(
@@ -118,6 +140,8 @@ def scale(
     mobility: bool = True,
     spatial_grid: bool = True,
     delta_epochs: bool = True,
+    inreach_delta: bool = True,
+    bulk_schedule: bool = True,
 ) -> FigureData:
     """Run the scale sweep and return perf series keyed by counter name.
 
@@ -128,7 +152,8 @@ def scale(
     the grid is off).  Only the first seed is used — replication averages
     wall-clock noise into the signal instead of out of it, and the
     determinism suite already pins the metrics.  ``spatial_grid`` /
-    ``delta_epochs`` expose the culls for A/B scaling comparisons.
+    ``delta_epochs`` / ``inreach_delta`` / ``bulk_schedule`` expose the
+    culls and the batched fan-out for A/B scaling comparisons.
     """
     nodes = QUICK_NODES if quick else SCALE_NODES
     sim_time_s = 8.0 if quick else 30.0
@@ -146,6 +171,8 @@ def scale(
             mobility=mobility,
             spatial_grid=spatial_grid,
             delta_epochs=delta_epochs,
+            inreach_delta=inreach_delta,
+            bulk_schedule=bulk_schedule,
         )
         start = time.perf_counter()
         result = run_scenario(config)

@@ -42,6 +42,11 @@ class PerfReport:
             equals ``broadcasts * (n - 1)`` with the grid disabled).
         rows_skipped_delta: Stale pair recomputes skipped by the
             movement-bounded delta-epoch test.
+        rows_skipped_inreach: Stale pair recomputes skipped (or deferred)
+            by the symmetric in-reach delta bound.
+        bulk_pushes: Batched fan-out calls into the DES core's
+            ``push_bulk`` (one per broadcast on the bulk path).
+        bulk_events: Arrival events scheduled through those batches.
         grid_cells: Occupied spatial-hash cells at capture time (gauge;
             accumulated via max, not sum).
     """
@@ -59,6 +64,9 @@ class PerfReport:
     grid_candidates: int = 0
     rows_skipped_delta: int = 0
     grid_cells: int = 0
+    rows_skipped_inreach: int = 0
+    bulk_pushes: int = 0
+    bulk_events: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -100,6 +108,9 @@ class PerfReport:
             grid_candidates=channel_stats.grid_candidates,
             rows_skipped_delta=channel_stats.rows_skipped_delta,
             grid_cells=channel_stats.grid_cells,
+            rows_skipped_inreach=channel_stats.rows_skipped_inreach,
+            bulk_pushes=channel_stats.bulk_pushes,
+            bulk_events=channel_stats.bulk_events,
         )
 
     def to_dict(self) -> Dict[str, float]:
@@ -120,6 +131,9 @@ class PerfReport:
             "rows_refreshed": self.rows_refreshed,
             "grid_candidates": self.grid_candidates,
             "rows_skipped_delta": self.rows_skipped_delta,
+            "rows_skipped_inreach": self.rows_skipped_inreach,
+            "bulk_pushes": self.bulk_pushes,
+            "bulk_events": self.bulk_events,
             "grid_cells": self.grid_cells,
             "speedup_factor": self.speedup_factor,
         }
@@ -140,7 +154,12 @@ class PerfReport:
             f"spatial grid: {self.grid_cells:,} cells, "
             f"{self.grid_candidates / self.broadcasts if self.broadcasts else 0.0:,.1f} "
             f"mean candidates/broadcast, "
-            f"{self.rows_skipped_delta:,} delta-epoch skips",
+            f"{self.rows_skipped_delta:,} delta-epoch skips, "
+            f"{self.rows_skipped_inreach:,} in-reach skips",
+            f"bulk schedule: {self.bulk_pushes:,} pushes, "
+            f"{self.bulk_events:,} events "
+            f"({self.bulk_events / self.bulk_pushes if self.bulk_pushes else 0.0:,.1f} "
+            f"per push)",
         ]
 
 
@@ -170,6 +189,9 @@ class PerfAccumulator:
             "rows_refreshed",
             "grid_candidates",
             "rows_skipped_delta",
+            "rows_skipped_inreach",
+            "bulk_pushes",
+            "bulk_events",
         ):
             self._totals[key] = self._totals.get(key, 0) + getattr(report, key)
         # Occupied-cell count is a gauge, not a flow: keep the peak.
@@ -194,6 +216,9 @@ class PerfAccumulator:
             grid_candidates=int(totals.get("grid_candidates", 0)),
             rows_skipped_delta=int(totals.get("rows_skipped_delta", 0)),
             grid_cells=int(totals.get("grid_cells", 0)),
+            rows_skipped_inreach=int(totals.get("rows_skipped_inreach", 0)),
+            bulk_pushes=int(totals.get("bulk_pushes", 0)),
+            bulk_events=int(totals.get("bulk_events", 0)),
         )
 
     def summary_lines(self) -> List[str]:

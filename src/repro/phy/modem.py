@@ -34,7 +34,9 @@ if TYPE_CHECKING:  # pragma: no cover
 #: level values, same order), so the threshold is purely a speed knob.
 VECTOR_SCAN_MIN = 16
 
-#: Cap on the shared Arrival free-list (see ``AcousticChannel.arrival_pool``).
+#: Default cap on the shared Arrival free-list (see
+#: ``AcousticChannel.arrival_pool``); per-channel via the
+#: ``arrival_pool_cap`` constructor argument / ``ScenarioConfig`` field.
 ARRIVAL_POOL_CAP = 4096
 
 
@@ -152,6 +154,7 @@ class AcousticModem:
         self._per_model = channel.per_model
         self._per_rng = channel.per_rng
         self._push_at = sim.push_at
+        self._pool_cap = channel.arrival_pool_cap
         self.on_receive: Optional[Callable[[Frame, Arrival], None]] = None
         self.on_rx_failure: Optional[Callable[[Arrival, RxOutcome], None]] = None
         self._tx_intervals: List[_TxInterval] = []
@@ -246,7 +249,7 @@ class AcousticModem:
             # No finish event will ever fire for this arrival, so it can go
             # straight back to the free-list when pooling is on.
             pool = self.channel.arrival_pool
-            if pool is not None and len(pool) < ARRIVAL_POOL_CAP:
+            if pool is not None and len(pool) < self._pool_cap:
                 pool.append(arrival)
             return
         slot = len(self._arrivals)
@@ -380,6 +383,7 @@ class AcousticModem:
         ends = self._arr_end
         levels = self._arr_level
         pool = self.channel.arrival_pool
+        cap = self._pool_cap
         kept: List[Arrival] = []
         for a in arrivals:
             if a.end >= horizon:
@@ -389,6 +393,6 @@ class AcousticModem:
                 ends[slot] = a.end
                 levels[slot] = a.level_db
                 kept.append(a)
-            elif pool is not None and len(pool) < ARRIVAL_POOL_CAP:
+            elif pool is not None and len(pool) < cap:
                 pool.append(a)
         self._arrivals = kept

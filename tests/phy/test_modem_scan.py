@@ -73,15 +73,16 @@ class TestArrivalPool:
         assert len(channel.arrival_pool) > 0
         assert len(channel.arrival_pool) <= modem_mod.ARRIVAL_POOL_CAP
 
-    def test_pool_capacity_is_bounded(self, monkeypatch):
+    def test_pool_capacity_is_bounded(self):
         from repro.acoustic.geometry import Position
         from repro.des.simulator import Simulator
         from repro.phy.channel import AcousticChannel
         from repro.phy.frame import FrameType, control_frame
 
-        monkeypatch.setattr(modem_mod, "ARRIVAL_POOL_CAP", 2)
+        # The cap is a channel-level knob now (surfaced as
+        # ScenarioConfig.arrival_pool_cap), not a module constant patch.
         sim = Simulator()
-        channel = AcousticChannel(sim, pool_arrivals=True)
+        channel = AcousticChannel(sim, pool_arrivals=True, arrival_pool_cap=2)
         positions = [Position(0, 0, 0), Position(900, 0, 0), Position(0, 900, 0)]
         for node_id in range(len(positions)):
             channel.create_modem(node_id, lambda i=node_id: positions[i])
@@ -100,3 +101,32 @@ class TestArrivalPool:
         pooled = run_scenario(config.with_(arrival_pool=True))
         fresh = run_scenario(config.with_(arrival_pool=False))
         assert _flat(pooled) == _flat(fresh)
+
+    def test_config_cap_bounds_live_recycled_objects(self):
+        from repro.experiments.scenario import Scenario
+
+        # End-to-end through ScenarioConfig: a tiny cap must bound the
+        # free list for the whole run without changing any figure metric.
+        config = _config(seed=7).with_(arrival_pool=True, arrival_pool_cap=3)
+        scenario = Scenario(config)
+        assert scenario.channel.arrival_pool_cap == 3
+        capped = scenario.run_steady_state()
+        assert scenario.channel.arrival_pool is not None
+        assert len(scenario.channel.arrival_pool) <= 3
+        default = run_scenario(_config(seed=7).with_(arrival_pool=True))
+        assert _flat(capped) == _flat(default)
+
+    def test_cap_zero_disables_recycling(self):
+        config = _config(seed=7).with_(arrival_pool=True, arrival_pool_cap=0)
+        from repro.experiments.scenario import Scenario
+
+        scenario = Scenario(config)
+        result = scenario.run_steady_state()
+        assert len(scenario.channel.arrival_pool) == 0
+        assert _flat(result) == _flat(
+            run_scenario(_config(seed=7).with_(arrival_pool=False))
+        )
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            _config(seed=7).with_(arrival_pool_cap=-1)

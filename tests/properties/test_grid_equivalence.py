@@ -44,6 +44,7 @@ def build_pair(positions):
             use_link_cache=True,
             use_spatial_grid=culled,
             use_delta_epochs=culled,
+            use_inreach_delta=culled,
             interference_range_factor=2.0,
         )
         holder = list(positions)
@@ -99,6 +100,71 @@ def test_grid_identical_through_interleaved_moves(positions, moves):
             holder[idx] = new
             channel.note_position_change(idx)
         assert_identical(culled, full, n)
+
+
+# Geometry concentrated around the decode (1500 m) and interference
+# (3000 m at factor 2) boundaries, with step sizes that routinely carry a
+# pair across them in either direction — the regime where the in-reach and
+# out-of-reach displacement bounds must hand pairs back to the recompute
+# path instead of skipping.
+near_coord = st.floats(min_value=-2500.0, max_value=2500.0, allow_nan=False)
+near_positions_st = st.lists(
+    st.builds(
+        Position,
+        x=near_coord,
+        y=near_coord,
+        z=st.floats(min_value=0.0, max_value=2500.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=8,
+)
+boundary_moves_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.floats(min_value=-900.0, max_value=900.0, allow_nan=False),
+        st.floats(min_value=-900.0, max_value=900.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=10,
+)
+
+
+@given(positions=near_positions_st, moves=boundary_moves_st)
+@settings(max_examples=60, deadline=None)
+def test_inreach_and_delta_skips_identical_across_reach_boundary(positions, moves):
+    """Both displacement bounds vs eager recompute, pairs crossing reach.
+
+    Isolates the two delta-epoch bounds (grid off on both sides): small
+    hops accumulate until a pair drifts out of decode range, out of
+    interference reach, and back in — every crossing must recompute, every
+    provably-stable hop may skip, and the fan-out must never differ.
+    """
+    n = len(positions)
+    channels = []
+    holders = []
+    for skips in (True, False):
+        sim = Simulator()
+        channel = AcousticChannel(
+            sim,
+            use_spatial_grid=False,
+            use_delta_epochs=skips,
+            use_inreach_delta=skips,
+            interference_range_factor=2.0,
+        )
+        holder = list(positions)
+        for node_id in range(n):
+            channel.create_modem(node_id, lambda i=node_id, h=holder: h[i])
+        channels.append(channel)
+        holders.append(holder)
+    assert_identical(channels[0], channels[1], n)
+    for raw_idx, dx, dy in moves:
+        idx = raw_idx % n
+        old = holders[0][idx]
+        new = Position(old.x + dx, old.y + dy, old.z)
+        for channel, holder in zip(channels, holders):
+            holder[idx] = new
+            channel.note_position_change(idx)
+        assert_identical(channels[0], channels[1], n)
 
 
 @given(positions=positions_st, moves=moves_st)
