@@ -66,6 +66,18 @@ class Simulator:
         self.wall_time_s: float = 0.0
         self._wall_deadline: Optional[float] = None
 
+    def __getstate__(self) -> dict:
+        """Pickle support for checkpoint/resume.
+
+        The wall-clock deadline is an *absolute* ``time.monotonic`` value,
+        which is meaningless in another process (or even later in this
+        one), so a snapshot never carries it: the restoring side re-arms
+        its own budget via :meth:`set_wall_deadline` if it wants one.
+        """
+        state = self.__dict__.copy()
+        state["_wall_deadline"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Wall-clock budget (cooperative per-run timeout)
     # ------------------------------------------------------------------

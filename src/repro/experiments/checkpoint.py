@@ -1,0 +1,146 @@
+"""Versioned checkpoint/resume for in-flight scenarios.
+
+A checkpoint is a pickle of the *entire* :class:`~repro.experiments.scenario.Scenario`
+object graph mid-run: the event heap (including its sequence counter), the
+simulation clock, every named RNG stream, and all MAC/modem/channel/node
+state.  NumPy ``Generator`` objects pickle bit-exactly and the DES heap is
+plain tuples, so a run resumed from a checkpoint is bit-identical to the
+uninterrupted run — that equivalence is enforced by the checkpoint test
+matrix (``tests/experiments/test_checkpoint.py`` and the integration
+matrix).
+
+Two details make cross-process resume safe:
+
+* **Versioning.** The blob starts with a magic prefix and carries both a
+  snapshot format version and the :func:`~repro.experiments.cache.code_version`
+  source digest.  Restoring under different simulation code would silently
+  produce non-reproducible results, so a digest mismatch is an error (the
+  sweep layer treats it as "no checkpoint" and reruns from zero).
+
+* **Uid floors.** Request and frame uids come from module-global
+  ``itertools.count`` counters that restart at 1 in a fresh process.  Only
+  *uniqueness within a run* matters (they feed dedup/tracing keys, never
+  arithmetic), so the snapshot records a floor from each counter and
+  restore advances the counters past it — a resumed run can never re-issue
+  a uid the snapshot already used.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from ..net.node import advance_request_uids, sample_request_uid_floor
+from ..phy.frame import advance_frame_uids, sample_frame_uid_floor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scenario -> here)
+    from .scenario import Scenario
+
+#: File/blob prefix; reject anything else before unpickling.
+MAGIC = b"REPRO-CKPT\x00"
+
+#: Bump when the payload layout changes (old checkpoints become invalid).
+SNAPSHOT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be taken, parsed, or safely restored."""
+
+
+def _code_version() -> str:
+    # Local import: cache imports scenario, scenario lazily imports this
+    # module — importing cache at module top would close the cycle.
+    from .cache import code_version
+
+    return code_version()
+
+
+def snapshot_scenario(scenario: "Scenario") -> bytes:
+    """Serialize a mid-run scenario to a restorable blob."""
+    payload = {
+        "version": SNAPSHOT_VERSION,
+        "code": _code_version(),
+        "request_uid_floor": sample_request_uid_floor(),
+        "frame_uid_floor": sample_frame_uid_floor(),
+        "scenario": scenario,
+    }
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(f"scenario is not picklable: {exc!r}") from exc
+    return MAGIC + blob
+
+
+def restore_scenario(data: bytes, check_code: bool = True) -> "Scenario":
+    """Rebuild a scenario from :func:`snapshot_scenario` output.
+
+    Args:
+        data: The checkpoint blob.
+        check_code: When True (the default), refuse to restore a snapshot
+            taken under a different source digest — resumed results would
+            not be reproducible against the current code.
+
+    Raises:
+        CheckpointError: bad magic, wrong version, code drift, or an
+            unpicklable/corrupt payload.
+    """
+    if not isinstance(data, (bytes, bytearray)) or not bytes(data).startswith(MAGIC):
+        raise CheckpointError("not a repro checkpoint (bad magic prefix)")
+    try:
+        payload = pickle.loads(bytes(data)[len(MAGIC):])
+    except Exception as exc:
+        raise CheckpointError(f"corrupt checkpoint payload: {exc!r}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"unsupported snapshot version {payload.get('version')!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    if check_code and payload.get("code") != _code_version():
+        raise CheckpointError(
+            "checkpoint was taken under different simulation code "
+            f"({payload.get('code')!r} != {_code_version()!r})"
+        )
+    advance_request_uids(int(payload["request_uid_floor"]))
+    advance_frame_uids(int(payload["frame_uid_floor"]))
+    scenario = payload["scenario"]
+    scenario.resumes += 1
+    return scenario
+
+
+def write_checkpoint(path: Union[str, Path], scenario: "Scenario") -> None:
+    """Atomically write a checkpoint file (tempfile + rename).
+
+    A crash mid-write can never leave a half-written file that a later
+    restore trusts: the magic/pickle checks reject partial tempfiles, and
+    the rename is atomic on POSIX.
+    """
+    path = Path(path)
+    blob = snapshot_scenario(scenario)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_checkpoint(path: Union[str, Path], check_code: bool = True) -> "Scenario":
+    """Restore a scenario from a checkpoint file.
+
+    Raises:
+        CheckpointError: the file is missing, unreadable, or invalid.
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return restore_scenario(data, check_code=check_code)

@@ -86,6 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
         "budget are re-run serially",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="checkpoint each cell's simulation state every SECONDS of "
+        "simulated time, so interrupted/timed-out cells resume from the "
+        "last checkpoint instead of restarting (default: off; resumed "
+        "results are bit-identical to uninterrupted runs)",
+    )
+    parser.add_argument(
         "--override",
         action="append",
         default=[],
@@ -155,8 +165,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=".repro-service.sqlite",
         metavar="FILE",
-        help="persistent job store path (serve); jobs left running by a "
-        "crashed service are requeued on startup",
+        help="persistent job store path (serve); jobs leased by a crashed "
+        "service are requeued once their lease expires",
     )
     service.add_argument(
         "--service-workers",
@@ -165,6 +175,31 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="concurrent job worker threads (serve); each job additionally "
         "fans its cells over --workers processes",
+    )
+    service.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="job claim lease duration (serve); a worker that stops "
+        "heartbeating for this long loses its job back to the queue",
+    )
+    service.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="retry budget per job (serve); a job whose worker crashes N "
+        "times is quarantined instead of requeued",
+    )
+    service.add_argument(
+        "--chaos-kill-after",
+        type=int,
+        default=None,
+        metavar="LINES",
+        help="fault injection (serve): SIGKILL this service process after "
+        "the N-th progress line of any job, leaving a leased running job "
+        "behind (crash-recovery smoke test)",
     )
     service.add_argument(
         "--allow-shutdown",
@@ -217,6 +252,8 @@ def _engine_kwargs(runner, args: argparse.Namespace) -> Dict[str, object]:
         kwargs["cache"] = not args.no_cache
     if "cell_timeout_s" in supported and args.cell_timeout is not None:
         kwargs["cell_timeout_s"] = args.cell_timeout
+    if "checkpoint_every_s" in supported and args.checkpoint_every is not None:
+        kwargs["checkpoint_every_s"] = args.checkpoint_every
     if "overrides" in supported and args.override:
         kwargs["overrides"] = parse_overrides(args.override)
     return kwargs
@@ -252,6 +289,8 @@ def _serve(args: argparse.Namespace) -> int:
     }
     if args.cell_timeout is not None:
         run_kwargs["cell_timeout_s"] = args.cell_timeout
+    if args.checkpoint_every is not None:
+        run_kwargs["checkpoint_every_s"] = args.checkpoint_every
     return serve(
         host=args.host,
         port=args.port,
@@ -260,6 +299,9 @@ def _serve(args: argparse.Namespace) -> int:
         run_kwargs=run_kwargs,
         allow_shutdown=args.allow_shutdown,
         quiet=not args.http_log,
+        lease_s=args.lease_s,
+        max_attempts=args.max_attempts,
+        chaos_kill_after=args.chaos_kill_after,
     )
 
 

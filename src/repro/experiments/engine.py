@@ -134,11 +134,17 @@ class SweepObserver:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
+    #: Cells completed from a checkpoint instead of from scratch.
+    cells_resumed: int = 0
+    #: Checkpoints taken across all finished cells.
+    checkpoints_taken: int = 0
 
     def record_runner(self, runner: object) -> None:
         """Fold one finished ``ParallelSweepRunner`` into the totals."""
         self.failures.extend(runner.failures)
         self.requeued += len(runner.requeued)
+        self.cells_resumed += getattr(runner, "cells_resumed", 0)
+        self.checkpoints_taken += getattr(runner, "checkpoints_taken", 0)
         cache = runner.cache
         if cache is not None:
             self.cache_hits += cache.stats.hits
@@ -152,6 +158,8 @@ class SweepObserver:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_stores += other.cache_stores
+        self.cells_resumed += other.cells_resumed
+        self.checkpoints_taken += other.checkpoints_taken
 
     def cache_line(self) -> str:
         """One-line cache traffic summary for logs."""
@@ -200,6 +208,8 @@ def run_sweep(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> GridResults:
     """Run every (x, protocol, seed) cell of a sweep.
 
@@ -214,12 +224,22 @@ def run_sweep(
             :class:`~repro.experiments.cache.ResultCache` — previously
             computed cells are reused instead of re-simulated.
         cell_timeout_s: Optional per-cell wall-clock budget (pooled runs
-            only); cells that exceed it are re-run serially to completion.
+            only); cells that exceed it are re-run serially, resuming from
+            their last checkpoint when checkpointing is on.
+        checkpoint_every_s: Simulated seconds between per-cell scenario
+            checkpoints (off by default; resumed cells are bit-identical,
+            see :mod:`~repro.experiments.checkpoint`).
+        checkpoint_dir: Directory for checkpoint files; ``None`` uses a
+            temporary directory scoped to the sweep.
     """
     from .cache import resolve_cache
 
     resolved = resolve_cache(cache)  # type: ignore[arg-type]
-    if (workers is None or workers != 1) or resolved is not None:
+    if (
+        (workers is None or workers != 1)
+        or resolved is not None
+        or checkpoint_every_s is not None
+    ):
         from .parallel import ParallelSweepRunner
 
         runner = ParallelSweepRunner(
@@ -227,6 +247,8 @@ def run_sweep(
             cache=resolved,
             cell_timeout_s=cell_timeout_s,
             progress=progress,
+            checkpoint_every_s=checkpoint_every_s,
+            checkpoint_dir=checkpoint_dir,
         )
         grid = runner.run(spec, base, protocols=protocols, seeds=seeds)
         observer = _OBSERVER.get()
@@ -333,6 +355,8 @@ def run_plan(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> FigureData:
     """Execute a plan's sweep and build its figure."""
     grid = run_sweep(
@@ -344,6 +368,8 @@ def run_plan(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
+        checkpoint_dir=checkpoint_dir,
     )
     return plan.build(grid)
 
@@ -546,6 +572,8 @@ def run_request(
     workers: Optional[int] = 1,
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
+    checkpoint_every_s: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute a request end to end and return its :class:`SweepResult`.
 
@@ -564,6 +592,8 @@ def run_request(
             workers=workers,
             cache=cache,
             cell_timeout_s=cell_timeout_s,
+            checkpoint_every_s=checkpoint_every_s,
+            checkpoint_dir=checkpoint_dir,
         )
     figure = plan.build(grid)
     summary = plan.summarize(grid) if plan.summarize is not None else []

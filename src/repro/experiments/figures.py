@@ -144,6 +144,7 @@ def fig6(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 6: throughput at different offered loads (60 sensors)."""
     return run_plan(
@@ -152,6 +153,7 @@ def fig6(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -200,6 +202,7 @@ def fig7(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 7: throughput at different sensor densities (0.8 kbps)."""
     return run_plan(
@@ -208,6 +211,7 @@ def fig7(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -274,6 +278,7 @@ def fig8(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 8: time to complete a fixed batch of transmissions."""
     return run_plan(
@@ -282,6 +287,7 @@ def fig8(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -358,6 +364,7 @@ def fig9a(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 9a: energy to deliver the offered information, 80 sensors."""
     return run_plan(
@@ -366,6 +373,7 @@ def fig9a(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -418,6 +426,7 @@ def fig9b(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 9b: drain energy vs number of sensors at 0.3 kbps."""
     return run_plan(
@@ -426,6 +435,7 @@ def fig9b(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -476,6 +486,7 @@ def fig10a(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 10a: overhead ratio vs node count at 0.5 kbps."""
     return run_plan(
@@ -484,6 +495,7 @@ def fig10a(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -537,6 +549,7 @@ def fig10b(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 10b: overhead ratio vs offered load (dense network)."""
     return run_plan(
@@ -545,6 +558,7 @@ def fig10b(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 
@@ -594,6 +608,7 @@ def fig11(
     cache: object = None,
     cell_timeout_s: Optional[float] = None,
     overrides: Overrides = None,
+    checkpoint_every_s: Optional[float] = None,
 ) -> FigureData:
     """Paper Fig. 11: Eq. (4) efficiency index, S-FAMA normalized to 1."""
     return run_plan(
@@ -602,6 +617,7 @@ def fig11(
         workers=workers,
         cache=cache,
         cell_timeout_s=cell_timeout_s,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 

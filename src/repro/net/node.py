@@ -10,11 +10,35 @@ layer.  Sinks (surface buoys, paper Fig. 1) are ordinary nodes flagged
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Optional
 
 _request_uids = itertools.count(1)
+_request_uid_lock = threading.Lock()
+
+
+def sample_request_uid_floor() -> int:
+    """Consume and return one request uid as a checkpoint floor.
+
+    Request uids only need to be *unique within one scenario run* (they
+    feed the ``(src, uid)`` retransmission dedup key in the MAC layer);
+    their absolute values never influence results.  A checkpoint records
+    the value returned here so that :func:`advance_request_uids` in a
+    fresh process — whose module counter restarted at 1 — can guarantee
+    the resumed run never re-issues a uid the snapshot already used.
+    """
+    with _request_uid_lock:
+        return next(_request_uids)
+
+
+def advance_request_uids(floor: int) -> None:
+    """Ensure future request uids are strictly greater than ``floor``."""
+    global _request_uids
+    with _request_uid_lock:
+        current = next(_request_uids)
+        _request_uids = itertools.count(max(current, int(floor)) + 1)
 
 from ..acoustic.geometry import Position
 from ..des.simulator import Simulator
@@ -81,7 +105,7 @@ class Node:
         self.neighbors = NeighborTable(node_id, smoothing=neighbor_smoothing)
         self.queue: Deque[DataRequest] = deque()
         self.app_stats = AppStats()
-        self.modem: AcousticModem = channel.create_modem(node_id, lambda: self._position)
+        self.modem: AcousticModem = channel.create_modem(node_id, self._get_position)
         self.mac = None  # attached by the MAC layer
         #: Fault-recovery bookkeeping: when the node last came back from a
         #: crash, and how long it took to complete its first application-
@@ -92,6 +116,14 @@ class Node:
     # ------------------------------------------------------------------
     # Position (movement invalidates the channel's link-state cache)
     # ------------------------------------------------------------------
+    def _get_position(self) -> Position:
+        """Channel-facing position accessor.
+
+        A named method rather than a lambda so the node graph — and with
+        it the whole scenario — stays picklable for checkpoint/resume.
+        """
+        return self._position
+
     @property
     def position(self) -> Position:
         return self._position

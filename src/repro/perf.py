@@ -49,6 +49,10 @@ class PerfReport:
         bulk_events: Arrival events scheduled through those batches.
         grid_cells: Occupied spatial-hash cells at capture time (gauge;
             accumulated via max, not sum).
+        checkpoints_taken: Cooperative checkpoints taken during the run
+            (0 unless ``checkpoint_every_s`` was armed).
+        resumes: How many times this run was restored from a checkpoint
+            (0 for an uninterrupted run).
     """
 
     sim_time_s: float
@@ -67,6 +71,8 @@ class PerfReport:
     rows_skipped_inreach: int = 0
     bulk_pushes: int = 0
     bulk_events: int = 0
+    checkpoints_taken: int = 0
+    resumes: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -91,10 +97,17 @@ class PerfReport:
 
     @classmethod
     def capture(
-        cls, sim: "Simulator", channel_stats: "ChannelStats", sim_time_s: float
+        cls,
+        sim: "Simulator",
+        channel_stats: "ChannelStats",
+        sim_time_s: float,
+        checkpoints_taken: int = 0,
+        resumes: int = 0,
     ) -> "PerfReport":
         """Snapshot kernel + channel counters after a run."""
         return cls(
+            checkpoints_taken=checkpoints_taken,
+            resumes=resumes,
             sim_time_s=sim_time_s,
             wall_time_s=sim.wall_time_s,
             events=sim.events_processed,
@@ -135,6 +148,8 @@ class PerfReport:
             "bulk_pushes": self.bulk_pushes,
             "bulk_events": self.bulk_events,
             "grid_cells": self.grid_cells,
+            "checkpoints_taken": self.checkpoints_taken,
+            "resumes": self.resumes,
             "speedup_factor": self.speedup_factor,
         }
 
@@ -160,6 +175,8 @@ class PerfReport:
             f"{self.bulk_events:,} events "
             f"({self.bulk_events / self.bulk_pushes if self.bulk_pushes else 0.0:,.1f} "
             f"per push)",
+            f"fault tolerance: {self.checkpoints_taken:,} checkpoints taken, "
+            f"{self.resumes:,} resumes",
         ]
 
 
@@ -192,6 +209,8 @@ class PerfAccumulator:
             "rows_skipped_inreach",
             "bulk_pushes",
             "bulk_events",
+            "checkpoints_taken",
+            "resumes",
         ):
             self._totals[key] = self._totals.get(key, 0) + getattr(report, key)
         # Occupied-cell count is a gauge, not a flow: keep the peak.
@@ -219,6 +238,8 @@ class PerfAccumulator:
             rows_skipped_inreach=int(totals.get("rows_skipped_inreach", 0)),
             bulk_pushes=int(totals.get("bulk_pushes", 0)),
             bulk_events=int(totals.get("bulk_events", 0)),
+            checkpoints_taken=int(totals.get("checkpoints_taken", 0)),
+            resumes=int(totals.get("resumes", 0)),
         )
 
     def summary_lines(self) -> List[str]:

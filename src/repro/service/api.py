@@ -20,7 +20,8 @@ the simulator does.  Endpoints (all JSON unless noted):
     state or the timeout elapses.
 ``GET  /jobs/<key>/result``
     The finished job's :class:`~repro.experiments.engine.SweepResult`
-    document (409 while queued/running, 500-ish payload for failed).
+    document (409 while queued/running, 500-ish payload for
+    failed/quarantined jobs, error chain included).
 ``GET  /jobs/<key>/events``
     ``text/event-stream`` (SSE): replays the job's progress lines, then
     streams new ones until the job finishes (``event: end``).
@@ -32,15 +33,17 @@ the simulator does.  Endpoints (all JSON unless noted):
 from __future__ import annotations
 
 import json
+import os
 import re
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from ..experiments.engine import EngineError, SweepRequest, request_key, service_targets
-from .store import DONE, FAILED, JobStore
-from .worker import WorkerPool
+from .store import DONE, FAILED, QUARANTINED, JobStore
+from .worker import ChaosHook, WorkerPool
 
 _JOB_PATH = re.compile(r"^/jobs/([0-9a-f]{16,64})(/result|/events)?$")
 
@@ -173,7 +176,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._stream_events(key)
             return
         if tail == "/result":
-            if job.state == FAILED:
+            if job.state in (FAILED, QUARANTINED):
                 self._send_json(
                     500, {"key": key, "state": job.state, "error": job.error,
                           "result": job.result}
@@ -280,18 +283,41 @@ def serve(
     run_kwargs: Optional[Dict[str, object]] = None,
     allow_shutdown: bool = False,
     quiet: bool = True,
+    lease_s: float = 30.0,
+    max_attempts: int = 3,
+    chaos_kill_after: Optional[int] = None,
 ) -> int:
     """Run the service until interrupted (the ``repro-uasn serve`` body).
 
     Prints exactly one ready line (``listening on <url>``) to stdout so
     wrappers — the CI smoke script — can discover the bound port.
+
+    ``chaos_kill_after=N`` arms the fault-injection hook: the process
+    SIGKILLs **itself** after the N-th progress line of any job, leaving
+    a leased ``running`` job behind.  The crash-recovery smoke uses this
+    to die mid-job deterministically and prove a restarted service picks
+    the job up once its lease expires.
     """
-    store = JobStore(store_path)
-    pool = WorkerPool(store, n_workers=n_service_workers, run_kwargs=run_kwargs)
+    store = JobStore(store_path, lease_s=lease_s, max_attempts=max_attempts)
+    chaos_hook: Optional[ChaosHook] = None
+    if chaos_kill_after is not None:
+        threshold = int(chaos_kill_after)
+
+        def chaos_hook(key: str, lines: int) -> None:
+            if lines >= threshold:
+                print(f"chaos: killing self mid-job {key[:12]}", flush=True)
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    pool = WorkerPool(
+        store,
+        n_workers=n_service_workers,
+        run_kwargs=run_kwargs,
+        chaos_hook=chaos_hook,
+    )
     server = make_server(store, pool, host, port, allow_shutdown, quiet)
     pool.start()
-    if store.requeued_on_open:
-        print(f"requeued {store.requeued_on_open} interrupted job(s)", flush=True)
+    if store.expired_on_open:
+        print(f"reaped {store.expired_on_open} expired job lease(s)", flush=True)
     print(f"listening on {server.url}", flush=True)
     try:
         server.serve_forever(poll_interval=0.2)

@@ -9,47 +9,76 @@ makes any genuine re-run of identical cells free.)
 
 State machine::
 
-    queued ──claim──> running ──finish──> done
-                        │
-                        └──fail──> failed ──resubmit──> queued
+                           ┌──heartbeat (lease extended)──┐
+                           ▼                              │
+    queued ──claim──> running ──finish──> done            │
+      ▲  ▲              │  │                              │
+      │  │              │  └──────────────────────────────┘
+      │  │              ├──fail──> failed ──resubmit──> queued
+      │  │              │
+      │  └─release──────┤            (graceful drain, attempt refunded)
+      │                 │
+      │            lease expired
+      │                 │
+      ├─────────────────┴── attempts < max_attempts
+      │                        (backoff: not_before = now + base·2^(n-1))
+      │
+      └── otherwise ──> quarantined  (terminal; error chain preserved;
+                                      only an explicit resubmit revives it)
 
-A job found ``running`` when the store opens belonged to a worker that
-died mid-run (process crash, SIGKILL); it is requeued automatically so a
-restarted service resumes exactly where it stopped.  Every transition is
-one sqlite transaction, serialized through an in-process lock *and*
-sqlite's own file locking, so multiple worker threads — or multiple
-service processes sharing the store file — can claim jobs safely.
+Ownership is **leased**, not assumed: a claim stamps the job with the
+claiming store's ``owner`` id and a lease deadline, workers heartbeat the
+lease while running, and only :meth:`JobStore.expire_leases` — never a
+blanket requeue — returns crashed workers' jobs to the queue.  A second
+service process sharing the store file therefore cannot steal jobs from
+a live sibling: its open only reaps leases that actually expired.  Every
+transition is one ``BEGIN IMMEDIATE`` sqlite transaction, serialized
+through an in-process lock *and* sqlite's own file locking (WAL mode +
+``busy_timeout``), so worker threads and sibling processes claim safely.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
+import socket
 import sqlite3
 import threading
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+log = logging.getLogger("repro.service")
 
 QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: Terminal state for poison jobs: the retry budget is exhausted.  Never
+#: auto-requeued; an explicit resubmission is the only way back out.
+QUARANTINED = "quarantined"
 
 #: Every legal state, in lifecycle order.
-STATES = (QUEUED, RUNNING, DONE, FAILED)
+STATES = (QUEUED, RUNNING, DONE, FAILED, QUARANTINED)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    key          TEXT PRIMARY KEY,
-    request      TEXT NOT NULL,
-    state        TEXT NOT NULL,
-    submitted_at REAL NOT NULL,
-    started_at   REAL,
-    finished_at  REAL,
-    attempts     INTEGER NOT NULL DEFAULT 0,
-    error        TEXT NOT NULL DEFAULT '',
-    result       TEXT
+    key              TEXT PRIMARY KEY,
+    request          TEXT NOT NULL,
+    state            TEXT NOT NULL,
+    submitted_at     REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    error            TEXT NOT NULL DEFAULT '',
+    result           TEXT,
+    owner            TEXT,
+    lease_expires_at REAL,
+    not_before       REAL NOT NULL DEFAULT 0
 );
 CREATE TABLE IF NOT EXISTS progress (
     id   INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -59,6 +88,20 @@ CREATE TABLE IF NOT EXISTS progress (
 );
 CREATE INDEX IF NOT EXISTS progress_by_key ON progress (key, id);
 """
+
+#: Columns added since the v1 schema, for in-place migration of old
+#: store files (``ALTER TABLE ADD COLUMN`` is cheap and idempotent-ish:
+#: guarded by a ``PRAGMA table_info`` existence check).
+_MIGRATIONS: Tuple[Tuple[str, str], ...] = (
+    ("owner", "ALTER TABLE jobs ADD COLUMN owner TEXT"),
+    ("lease_expires_at", "ALTER TABLE jobs ADD COLUMN lease_expires_at REAL"),
+    ("not_before", "ALTER TABLE jobs ADD COLUMN not_before REAL NOT NULL DEFAULT 0"),
+)
+
+
+def default_owner() -> str:
+    """A unique-per-store-instance worker identity (host:pid:nonce)."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
 
 
 @dataclass
@@ -75,10 +118,13 @@ class JobRecord:
     error: str = ""
     result: Optional[Dict[str, object]] = None
     progress: List[str] = field(default_factory=list)
+    owner: Optional[str] = None
+    lease_expires_at: Optional[float] = None
+    not_before: float = 0.0
 
     @property
     def terminal(self) -> bool:
-        return self.state in (DONE, FAILED)
+        return self.state in (DONE, FAILED, QUARANTINED)
 
     def to_dict(self, include_result: bool = False) -> Dict[str, object]:
         """JSON shape served by the API (results are a separate fetch)."""
@@ -91,6 +137,9 @@ class JobRecord:
             "finished_at": self.finished_at,
             "attempts": self.attempts,
             "error": self.error,
+            "owner": self.owner,
+            "lease_expires_at": self.lease_expires_at,
+            "not_before": self.not_before,
         }
         if include_result:
             payload["result"] = self.result
@@ -98,31 +147,100 @@ class JobRecord:
 
 
 class JobStore:
-    """Sqlite-backed job queue with content-addressed dedupe.
+    """Sqlite-backed job queue with leased claims and retry budgets.
 
     Args:
         path: Store file (created on first use).  Parent directories are
             created as needed.
-        requeue: Requeue jobs left ``running`` by a crashed worker as
-            soon as the store opens (the crash-recovery path).  Pass
-            ``False`` when opening read-only alongside a live service.
+        requeue: Reap expired leases as soon as the store opens (the
+            crash-recovery path: a worker that died mid-job stops
+            heartbeating and its lease times out).  Pass ``False`` when
+            opening read-only alongside a live service.  Unlike the old
+            blanket requeue, this can never steal a job whose worker is
+            alive and heartbeating.
+        owner: This store instance's claim identity; defaults to a
+            host:pid:nonce string unique per instance.
+        lease_s: Default claim lease duration.  Workers must heartbeat
+            within this window or lose the job to :meth:`expire_leases`.
+        max_attempts: Retry budget — a job whose lease expires on its
+            ``max_attempts``-th attempt is quarantined instead of
+            requeued.
+        backoff_base_s: First-retry backoff; doubles per attempt
+            (``not_before = now + backoff_base_s * 2**(attempts-1)``).
+        progress_ttl_s: On open, progress lines older than this whose job
+            is terminal are pruned (the table otherwise grows without
+            bound across restarts).
     """
 
-    def __init__(self, path: Union[str, Path], requeue: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        requeue: bool = True,
+        owner: Optional[str] = None,
+        lease_s: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 1.0,
+        progress_ttl_s: float = 7 * 24 * 3600.0,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.owner = owner or default_owner()
+        self.lease_s = float(lease_s)
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.backoff_base_s = float(backoff_base_s)
         self._lock = threading.RLock()
+        # Autocommit at the sqlite level; every mutation goes through an
+        # explicit BEGIN IMMEDIATE (see _txn) so the write lock is taken
+        # up front — a SELECT-then-UPDATE claim can't race a sibling
+        # process into double-claiming.
         self._conn = sqlite3.connect(
-            str(self.path), check_same_thread=False, timeout=30.0
+            str(self.path),
+            check_same_thread=False,
+            timeout=30.0,
+            isolation_level=None,
         )
         self._conn.row_factory = sqlite3.Row
-        with self._lock, self._conn:
+        with self._lock:
+            # WAL lets sibling service processes read while one writes,
+            # and busy_timeout makes lock contention wait instead of
+            # throwing "database is locked".
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.executescript(_SCHEMA)
-        self.requeued_on_open = self.requeue_running() if requeue else 0
+            self._migrate()
+        self.pruned_on_open = self._prune_progress(progress_ttl_s)
+        #: Jobs whose expired leases were reaped when this store opened
+        #: (requeued + quarantined).  Live heartbeated jobs are never
+        #: touched.
+        self.expired_on_open = self.expire_leases() if requeue else 0
+
+    def _migrate(self) -> None:
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(jobs)").fetchall()
+        }
+        for column, statement in _MIGRATIONS:
+            if column not in columns:
+                self._conn.execute(statement)
 
     def close(self) -> None:
         with self._lock:
             self._conn.close()
+
+    @contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One mutation as a write-locked transaction."""
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                self._conn.rollback()
+                raise
+            else:
+                self._conn.commit()
 
     # ------------------------------------------------------------------
     def _row_to_record(self, row: sqlite3.Row) -> JobRecord:
@@ -137,6 +255,9 @@ class JobStore:
             attempts=row["attempts"],
             error=row["error"],
             result=json.loads(result) if result else None,
+            owner=row["owner"],
+            lease_expires_at=row["lease_expires_at"],
+            not_before=row["not_before"],
         )
 
     # ------------------------------------------------------------------
@@ -148,79 +269,206 @@ class JobStore:
         Returns ``(record, deduped)``.  ``deduped`` is True when the key
         already had a live (queued/running/done) job — the caller gets
         that job's state with **no new run scheduled**.  A previously
-        *failed* job is requeued instead (resubmission is the retry
-        button), reported as ``deduped=False``.
+        *failed or quarantined* job is requeued instead (resubmission is
+        the retry button), reported as ``deduped=False`` — with its
+        error, stale partial ``result``, attempt count, and backoff all
+        cleared, so the retry starts from a clean slate and can never
+        serve the old partial result as if it were fresh.
         """
         now = time.time()
-        with self._lock, self._conn:
-            row = self._conn.execute(
+        with self._txn() as conn:
+            row = conn.execute(
                 "SELECT * FROM jobs WHERE key = ?", (key,)
             ).fetchone()
             if row is None:
-                self._conn.execute(
+                conn.execute(
                     "INSERT INTO jobs (key, request, state, submitted_at) "
                     "VALUES (?, ?, ?, ?)",
                     (key, json.dumps(request), QUEUED, now),
                 )
                 return self.get(key), False
-            if row["state"] == FAILED:
-                self._conn.execute(
+            if row["state"] in (FAILED, QUARANTINED):
+                conn.execute(
                     "UPDATE jobs SET state = ?, error = '', finished_at = NULL, "
-                    "submitted_at = ? WHERE key = ?",
+                    "result = NULL, attempts = 0, not_before = 0, owner = NULL, "
+                    "lease_expires_at = NULL, submitted_at = ? WHERE key = ?",
                     (QUEUED, now, key),
                 )
                 return self.get(key), False
             return self._row_to_record(row), True
 
-    def claim(self) -> Optional[JobRecord]:
-        """Atomically move the oldest queued job to ``running``."""
+    def claim(
+        self, owner: Optional[str] = None, lease_s: Optional[float] = None
+    ) -> Optional[JobRecord]:
+        """Atomically lease the oldest *eligible* queued job to ``owner``.
+
+        Eligible means ``not_before`` has passed — a job backing off
+        after a crashed attempt stays invisible until its retry time.
+        The claim stamps the owner id and a lease deadline; the owner
+        must :meth:`heartbeat` before the deadline or the job returns to
+        the queue via :meth:`expire_leases`.
+        """
         now = time.time()
-        with self._lock, self._conn:
-            row = self._conn.execute(
-                "SELECT * FROM jobs WHERE state = ? "
+        owner = owner or self.owner
+        lease = self.lease_s if lease_s is None else float(lease_s)
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE state = ? AND not_before <= ? "
                 "ORDER BY submitted_at, key LIMIT 1",
-                (QUEUED,),
+                (QUEUED, now),
             ).fetchone()
             if row is None:
                 return None
-            self._conn.execute(
-                "UPDATE jobs SET state = ?, started_at = ?, "
-                "attempts = attempts + 1 WHERE key = ?",
-                (RUNNING, now, row["key"]),
+            conn.execute(
+                "UPDATE jobs SET state = ?, started_at = ?, owner = ?, "
+                "lease_expires_at = ?, attempts = attempts + 1 WHERE key = ?",
+                (RUNNING, now, owner, now + lease, row["key"]),
             )
         return self.get(row["key"])
 
-    def finish(self, key: str, result: Dict[str, object]) -> None:
-        """Mark a running job done and attach its result document."""
-        with self._lock, self._conn:
-            self._conn.execute(
-                "UPDATE jobs SET state = ?, finished_at = ?, result = ? "
-                "WHERE key = ?",
-                (DONE, time.time(), json.dumps(result), key),
-            )
+    def heartbeat(
+        self, key: str, owner: Optional[str] = None, lease_s: Optional[float] = None
+    ) -> bool:
+        """Extend a running job's lease; False if the job is no longer ours.
 
-    def fail(self, key: str, error: str, result: Optional[Dict[str, object]] = None) -> None:
-        """Mark a job failed, capturing the error (and any partial result)."""
-        with self._lock, self._conn:
-            self._conn.execute(
-                "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
-                "result = ? WHERE key = ?",
-                (
-                    FAILED,
-                    time.time(),
-                    error,
-                    json.dumps(result) if result is not None else None,
-                    key,
-                ),
+        A False return tells the worker its lease already expired and the
+        job was handed to someone else (or settled) — it should abandon
+        the run rather than settle a job it no longer owns.
+        """
+        owner = owner or self.owner
+        lease = self.lease_s if lease_s is None else float(lease_s)
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET lease_expires_at = ? "
+                "WHERE key = ? AND state = ? AND owner = ?",
+                (time.time() + lease, key, RUNNING, owner),
             )
+            return cursor.rowcount > 0
 
-    def requeue_running(self) -> int:
-        """Requeue every ``running`` job (crash recovery); returns count."""
-        with self._lock, self._conn:
-            cursor = self._conn.execute(
-                "UPDATE jobs SET state = ? WHERE state = ?", (QUEUED, RUNNING)
+    def finish(
+        self, key: str, result: Dict[str, object], owner: Optional[str] = None
+    ) -> bool:
+        """Mark a running job done and attach its result document.
+
+        With ``owner`` given (the worker path), the update is guarded:
+        a worker whose lease expired mid-run — its job already requeued
+        and possibly re-leased elsewhere — settles nothing and gets
+        False back.  ``owner=None`` skips the guard (administrative use).
+        """
+        with self._txn() as conn:
+            if owner is None:
+                cursor = conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, result = ?, "
+                    "owner = NULL, lease_expires_at = NULL WHERE key = ?",
+                    (DONE, time.time(), json.dumps(result), key),
+                )
+            else:
+                cursor = conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, result = ?, "
+                    "owner = NULL, lease_expires_at = NULL "
+                    "WHERE key = ? AND state = ? AND owner = ?",
+                    (DONE, time.time(), json.dumps(result), key, RUNNING, owner),
+                )
+            return cursor.rowcount > 0
+
+    def fail(
+        self,
+        key: str,
+        error: str,
+        result: Optional[Dict[str, object]] = None,
+        owner: Optional[str] = None,
+    ) -> bool:
+        """Mark a job failed, capturing the error (and any partial result).
+
+        This is the *deliberate* failure path (the run raised, or cells
+        failed permanently): the job goes straight to ``failed`` and
+        waits for an explicit resubmission.  Crash failures — the worker
+        died without calling anything — are detected by lease expiry
+        instead, where the retry budget and quarantine apply.  Same
+        owner guard as :meth:`finish`.
+        """
+        with self._txn() as conn:
+            params = (
+                FAILED,
+                time.time(),
+                error,
+                json.dumps(result) if result is not None else None,
+                key,
             )
-            return cursor.rowcount
+            if owner is None:
+                cursor = conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                    "result = ?, owner = NULL, lease_expires_at = NULL "
+                    "WHERE key = ?",
+                    params,
+                )
+            else:
+                cursor = conn.execute(
+                    "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                    "result = ?, owner = NULL, lease_expires_at = NULL "
+                    "WHERE key = ? AND state = ? AND owner = ?",
+                    params + (RUNNING, owner),
+                )
+            return cursor.rowcount > 0
+
+    def release(self, key: str, owner: Optional[str] = None) -> bool:
+        """Hand a claimed-but-unfinished job back to the queue (drain path).
+
+        The attempt is refunded — a graceful shutdown is not a crash, so
+        it must not eat into the retry budget — and the job becomes
+        immediately claimable by any surviving worker.
+        """
+        owner = owner or self.owner
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "UPDATE jobs SET state = ?, owner = NULL, lease_expires_at = NULL, "
+                "attempts = MAX(attempts - 1, 0), not_before = 0 "
+                "WHERE key = ? AND state = ? AND owner = ?",
+                (QUEUED, key, RUNNING, owner),
+            )
+            return cursor.rowcount > 0
+
+    def expire_leases(self) -> int:
+        """Reap running jobs whose lease has expired; returns the count.
+
+        Each expired job either requeues with exponential backoff
+        (``not_before``), or — when its retry budget is spent —
+        quarantines with the full error chain of every crashed attempt
+        preserved in ``error``.  Jobs whose workers are alive (lease in
+        the future) are never touched, so any number of service
+        processes can call this concurrently and only true orphans move.
+        """
+        now = time.time()
+        reaped = 0
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE state = ? AND lease_expires_at IS NOT NULL "
+                "AND lease_expires_at < ?",
+                (RUNNING, now),
+            ).fetchall()
+            for row in rows:
+                attempts = row["attempts"]
+                chain = row["error"]
+                line = (
+                    f"attempt {attempts}: lease expired "
+                    f"(owner={row['owner']}, worker presumed dead)"
+                )
+                chain = f"{chain}\n{line}" if chain else line
+                if attempts >= self.max_attempts:
+                    conn.execute(
+                        "UPDATE jobs SET state = ?, finished_at = ?, error = ?, "
+                        "owner = NULL, lease_expires_at = NULL WHERE key = ?",
+                        (QUARANTINED, now, chain, row["key"]),
+                    )
+                else:
+                    backoff = self.backoff_base_s * (2 ** (attempts - 1))
+                    conn.execute(
+                        "UPDATE jobs SET state = ?, error = ?, owner = NULL, "
+                        "lease_expires_at = NULL, not_before = ? WHERE key = ?",
+                        (QUEUED, chain, now + backoff, row["key"]),
+                    )
+                reaped += 1
+        return reaped
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[JobRecord]:
@@ -250,8 +498,8 @@ class JobStore:
     # ------------------------------------------------------------------
     def add_progress(self, key: str, line: str) -> None:
         """Append one progress line to a job's stream."""
-        with self._lock, self._conn:
-            self._conn.execute(
+        with self._txn() as conn:
+            conn.execute(
                 "INSERT INTO progress (key, at, line) VALUES (?, ?, ?)",
                 (key, time.time(), line),
             )
@@ -267,3 +515,17 @@ class JobStore:
                 (key, after_id, limit),
             ).fetchall()
         return [(row["id"], row["line"]) for row in rows]
+
+    def _prune_progress(self, ttl_s: float) -> int:
+        """Drop progress of terminal jobs older than the TTL; log the count."""
+        cutoff = time.time() - ttl_s
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "DELETE FROM progress WHERE at < ? AND key IN "
+                "(SELECT key FROM jobs WHERE state IN (?, ?, ?))",
+                (cutoff, DONE, FAILED, QUARANTINED),
+            )
+            pruned = cursor.rowcount
+        if pruned:
+            log.info("pruned %d stale progress line(s) from %s", pruned, self.path)
+        return pruned

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import time
 
 from repro.des.errors import WallClockExceeded
 from repro.experiments.cache import ResultCache, cell_key, code_version
@@ -305,6 +307,169 @@ class TestPermanentFailure:
         assert len(runner.failures) == 1
         assert grid[(0.4, "EW-MAC")] == []
         assert len(grid[(0.4, "S-FAMA")]) == 1
+
+
+def _hanging_worker(cell, wall_budget_s):
+    if cell.index == 0:
+        time.sleep(30.0)  # never returns within the guard window
+    return _real_pool_worker(cell, wall_budget_s)
+
+
+def _dying_worker(cell, wall_budget_s):
+    if cell.index == 1:
+        os._exit(17)  # hard death: no exception, no result, broken pool
+    return _real_pool_worker(cell, wall_budget_s)
+
+
+class TestFaultRecovery:
+    """The bounded recovery paths: hung pools, dead workers, retry caps."""
+
+    def test_hung_pool_guard_requeues_unfinished_cells(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_pool_worker", _hanging_worker)
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        serial = run_sweep(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        messages = []
+        runner = ParallelSweepRunner(
+            workers=2,
+            mp_context="fork",
+            pool_guard_s=1.0,
+            progress=messages.append,
+        )
+        recovered = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        assert [cell.index for cell in runner.requeued] == [0]
+        assert any("pool hung" in m for m in messages)
+        assert runner.failures == []
+        assert _grid_dicts(serial) == _grid_dicts(recovered)
+
+    def test_dead_worker_breaks_pool_and_cells_recover(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "_pool_worker", _dying_worker)
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        serial = run_sweep(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        messages = []
+        runner = ParallelSweepRunner(
+            workers=2, mp_context="fork", progress=messages.append
+        )
+        recovered = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        # The dying cell is requeued for sure; pool breakage may take its
+        # in-flight siblings with it — recovery must replay all of them.
+        assert 1 in [cell.index for cell in runner.requeued]
+        assert any("dead worker" in m or "crashed" in m for m in messages)
+        assert runner.failures == []
+        assert _grid_dicts(serial) == _grid_dicts(recovered)
+
+    def test_recovery_attempts_are_capped(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        calls = []
+
+        def always_crashing(cell, wall_budget_s=None):
+            calls.append(cell.index)
+            raise RuntimeError("still broken")
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", always_crashing)
+        cells = expand_cells(
+            _quick_spec(x_values=(0.4,)), _quick_base(), ("EW-MAC",), (1,)
+        )
+        messages = []
+        runner = ParallelSweepRunner(
+            workers=1, max_serial_attempts=3, progress=messages.append
+        )
+        results: list = [None]
+        runner._run_serial(cells, results, keys={}, recovery=True)
+        assert len(calls) == 3  # the cap, not forever
+        assert len(runner.failures) == 1
+        assert "still broken" in runner.failures[0].error
+        assert sum("retrying" in m for m in messages) == 2
+
+    def test_recovery_timeouts_are_bounded_and_reported(self, monkeypatch):
+        import repro.experiments.parallel as parallel_mod
+
+        budgets = []
+
+        def timing_out(cell, wall_budget_s=None):
+            budgets.append(wall_budget_s)
+            raise WallClockExceeded("over budget")
+
+        monkeypatch.setattr(parallel_mod, "execute_cell", timing_out)
+        cells = expand_cells(
+            _quick_spec(x_values=(0.4,)), _quick_base(), ("EW-MAC",), (1,)
+        )
+        runner = ParallelSweepRunner(
+            workers=1, cell_timeout_s=10.0, max_serial_attempts=2
+        )
+        results: list = [None]
+        runner._run_serial(cells, results, keys={}, recovery=True)
+        # Recovery re-runs get double the pooled budget, but stay bounded.
+        assert budgets == [20.0, 20.0]
+        assert len(runner.failures) == 1
+        assert runner.failures[0].error.startswith("WallClockExceeded")
+
+    def test_max_serial_attempts_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_serial_attempts"):
+            ParallelSweepRunner(max_serial_attempts=0)
+
+
+class TestCheckpointedSweeps:
+    """Layer-2 recovery: sweeps resume cells from their checkpoints."""
+
+    def test_checkpointed_serial_sweep_is_bit_identical(self):
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        plain = run_sweep(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        runner = ParallelSweepRunner(workers=1, checkpoint_every_s=4.0)
+        checkpointed = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1,))
+        assert _grid_dicts(plain) == _grid_dicts(checkpointed)
+        assert runner.checkpoints_taken > 0
+        assert runner.cells_resumed == 0  # nothing was interrupted
+
+    def test_interrupted_cell_resumes_from_persistent_checkpoint_dir(
+        self, tmp_path
+    ):
+        from repro.experiments.checkpoint import write_checkpoint
+        from repro.experiments.scenario import Scenario
+
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        cells = expand_cells(spec, base, ("EW-MAC",), (1,))
+        baseline = execute_cell(cells[0]).to_dict()
+
+        # Simulate a previous sweep that died mid-cell: one checkpoint
+        # exists in the persistent dir under the cell's cache key.
+        key = cell_key(cells[0].config, cells[0].batch, code_version())
+
+        class Interrupt(Exception):
+            pass
+
+        def hook(scenario: Scenario) -> None:
+            write_checkpoint(tmp_path / f"{key}.ckpt", scenario)
+            raise Interrupt
+
+        try:
+            Scenario(cells[0].config).run_steady_state(5.0, hook)
+        except Interrupt:
+            pass
+        assert (tmp_path / f"{key}.ckpt").exists()
+
+        runner = ParallelSweepRunner(
+            workers=1, checkpoint_every_s=5.0, checkpoint_dir=tmp_path
+        )
+        results = runner.run_cells(cells)
+        assert results[0].to_dict() == baseline  # resumed, not diverged
+        assert runner.cells_resumed == 1
+        assert not (tmp_path / f"{key}.ckpt").exists()  # consumed
+        assert tmp_path.exists()  # caller-owned dir is kept
+
+    def test_pooled_checkpointed_sweep_is_bit_identical(self):
+        spec, base = _quick_spec(x_values=(0.4,)), _quick_base()
+        plain = run_sweep(spec, base, protocols=PROTOCOLS, seeds=(1, 2))
+        runner = ParallelSweepRunner(workers=2, checkpoint_every_s=4.0)
+        pooled = runner.run(spec, base, protocols=PROTOCOLS, seeds=(1, 2))
+        assert _grid_dicts(plain) == _grid_dicts(pooled)
+        assert runner.checkpoints_taken > 0
 
 
 class TestWorkItem:

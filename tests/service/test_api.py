@@ -116,7 +116,7 @@ def _wait_terminal(base, key, timeout_s=10.0):
     deadline = time.monotonic() + timeout_s
     while time.monotonic() < deadline:
         _, payload = _get(f"{base}/jobs/{key}?wait=1")
-        if payload["job"]["state"] in ("done", "failed"):
+        if payload["job"]["state"] in ("done", "failed", "quarantined"):
             return payload["job"]
     raise AssertionError(f"job {key} never finished")
 
@@ -127,7 +127,13 @@ def test_healthz_and_targets(service):
     assert status == 200
     assert health["ok"] is True
     assert health["workers_alive"] is True
-    assert set(health["jobs"]) == {"queued", "running", "done", "failed"}
+    assert set(health["jobs"]) == {
+        "queued",
+        "running",
+        "done",
+        "failed",
+        "quarantined",
+    }
     status, targets = _get(f"{base}/targets")
     assert status == 200
     assert "fig6" in targets["targets"]
@@ -209,14 +215,15 @@ def test_worker_crash_surfaces_error_via_api(service):
     assert status == 500
     assert "worker exploded mid-sweep" in body["error"]
 
-    # Resubmission is the retry button: requeued, not deduped.
+    # Resubmission is the retry button: requeued with a clean slate
+    # (fresh retry budget, old error and partial result cleared).
     holder["runner"] = _instant_runner
     status, retried = _post(f"{base}/jobs", REQUEST_BODY)
     assert status == 202
     assert retried["deduped"] is False
     job = _wait_terminal(base, key)
     assert job["state"] == "done"
-    assert job["attempts"] == 2
+    assert job["attempts"] == 1
 
 
 def test_permanent_cell_failures_fail_the_job(service):

@@ -1,17 +1,26 @@
-"""Job-store state machine: dedupe, transitions, crash-requeue, errors."""
+"""Job-store state machine: dedupe, leases, retry budgets, quarantine."""
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.service.store import DONE, FAILED, QUEUED, RUNNING, JobStore
+from repro.service.store import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    JobStore,
+)
 
 REQUEST = {"target": "fig6", "quick": True, "seeds": [1], "overrides": []}
 
 
 @pytest.fixture
 def store(tmp_path):
-    js = JobStore(tmp_path / "jobs.sqlite")
+    js = JobStore(tmp_path / "jobs.sqlite", backoff_base_s=0.0)
     yield js
     js.close()
 
@@ -22,6 +31,7 @@ def test_submit_queues_new_job(store):
     assert record.state == QUEUED
     assert record.attempts == 0
     assert record.request == REQUEST
+    assert record.owner is None
 
 
 def test_identical_submissions_dedupe_to_one_job(store):
@@ -50,6 +60,8 @@ def test_queued_running_done_transitions(store):
     assert claimed.state == RUNNING
     assert claimed.attempts == 1
     assert claimed.started_at is not None
+    assert claimed.owner == store.owner
+    assert claimed.lease_expires_at is not None
     assert store.claim() is None  # nothing else queued
     store.finish(key, {"figure": {"x": 1}})
     done = store.get(key)
@@ -57,6 +69,7 @@ def test_queued_running_done_transitions(store):
     assert done.terminal
     assert done.finished_at is not None
     assert done.result == {"figure": {"x": 1}}
+    assert done.owner is None  # lease cleared on settle
 
 
 def test_claim_order_is_oldest_first(store):
@@ -66,35 +79,193 @@ def test_claim_order_is_oldest_first(store):
     assert store.claim().key == "d" * 64
 
 
-def test_crash_requeue_on_reopen(tmp_path):
+def test_wal_mode_and_busy_timeout_enabled(store):
+    mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+    assert mode == "wal"
+    timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+    assert timeout >= 30000
+
+
+# ----------------------------------------------------------------------
+# Leases
+# ----------------------------------------------------------------------
+def test_crash_requeue_on_reopen_after_lease_expiry(tmp_path):
     path = tmp_path / "jobs.sqlite"
-    store = JobStore(path)
+    store = JobStore(path, lease_s=0.05)
     store.submit("e" * 64, REQUEST)
     store.submit("f" * 64, REQUEST)
     store.claim()  # worker takes the first job ...
     store.close()  # ... and the process dies mid-run
+    time.sleep(0.1)  # the orphaned lease times out
 
-    reopened = JobStore(path)
-    assert reopened.requeued_on_open == 1
+    reopened = JobStore(path, backoff_base_s=0.0)
+    assert reopened.expired_on_open == 1
     record = reopened.get("e" * 64)
     assert record.state == QUEUED
+    assert "lease expired" in record.error
     # The retry still counts the first attempt.
     assert reopened.claim().attempts == 2
     reopened.close()
 
 
-def test_reopen_without_requeue_leaves_running(tmp_path):
+def test_reopen_before_lease_expiry_never_steals_live_job(tmp_path):
+    """A second store opening must not requeue a job whose worker is alive."""
     path = tmp_path / "jobs.sqlite"
-    store = JobStore(path)
+    store = JobStore(path, lease_s=60.0)
     store.submit("g" * 64, REQUEST)
     store.claim()
+
+    sibling = JobStore(path)  # requeue on by default — but lease is live
+    assert sibling.expired_on_open == 0
+    assert sibling.get("g" * 64).state == RUNNING
+    assert sibling.get("g" * 64).owner == store.owner
+    sibling.close()
     store.close()
+
+
+def test_reopen_without_requeue_leaves_running(tmp_path):
+    path = tmp_path / "jobs.sqlite"
+    store = JobStore(path, lease_s=0.01)
+    store.submit("h" * 64, REQUEST)
+    store.claim()
+    store.close()
+    time.sleep(0.05)
     observer = JobStore(path, requeue=False)
-    assert observer.requeued_on_open == 0
-    assert observer.get("g" * 64).state == RUNNING
+    assert observer.expired_on_open == 0
+    assert observer.get("h" * 64).state == RUNNING
     observer.close()
 
 
+def test_heartbeat_extends_lease_and_blocks_expiry(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite", lease_s=0.08)
+    try:
+        key = "i" * 64
+        store.submit(key, REQUEST)
+        store.claim()
+        for _ in range(4):
+            time.sleep(0.04)
+            assert store.heartbeat(key)
+            assert store.expire_leases() == 0  # lease kept fresh
+        assert store.get(key).state == RUNNING
+    finally:
+        store.close()
+
+
+def test_heartbeat_refuses_foreign_or_settled_job(store):
+    key = "j" * 64
+    store.submit(key, REQUEST)
+    store.claim()
+    assert not store.heartbeat(key, owner="someone-else")
+    store.finish(key, {"figure": {}})
+    assert not store.heartbeat(key)  # terminal: nothing to extend
+
+
+def test_expired_lease_requeued_exactly_once(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite", lease_s=0.02, backoff_base_s=0.0)
+    try:
+        key = "k" * 64
+        store.submit(key, REQUEST)
+        store.claim()
+        time.sleep(0.05)
+        assert store.expire_leases() == 1
+        assert store.get(key).state == QUEUED
+        # A second reap (another process's heartbeat tick) finds nothing.
+        assert store.expire_leases() == 0
+        assert store.get(key).state == QUEUED
+    finally:
+        store.close()
+
+
+def test_backoff_delays_reclaim_of_crashed_job(tmp_path):
+    store = JobStore(tmp_path / "jobs.sqlite", lease_s=0.02, backoff_base_s=30.0)
+    try:
+        key = "l" * 64
+        store.submit(key, REQUEST)
+        store.claim()
+        time.sleep(0.05)
+        store.expire_leases()
+        record = store.get(key)
+        assert record.state == QUEUED
+        assert record.not_before > time.time()  # backing off
+        assert store.claim() is None  # invisible until not_before passes
+    finally:
+        store.close()
+
+
+def test_quarantine_after_max_attempts_with_error_chain(tmp_path):
+    store = JobStore(
+        tmp_path / "jobs.sqlite", lease_s=0.02, max_attempts=2, backoff_base_s=0.0
+    )
+    try:
+        key = "m" * 64
+        store.submit(key, REQUEST)
+        for attempt in (1, 2):
+            claimed = store.claim()
+            assert claimed.attempts == attempt
+            time.sleep(0.05)
+            assert store.expire_leases() == 1
+        record = store.get(key)
+        assert record.state == QUARANTINED
+        assert record.terminal
+        # Every crashed attempt is preserved in the chain.
+        assert record.error.count("lease expired") == 2
+        assert "attempt 1" in record.error and "attempt 2" in record.error
+        # Quarantined jobs are never claimed again.
+        assert store.claim() is None
+        assert store.expire_leases() == 0
+    finally:
+        store.close()
+
+
+def test_resubmission_revives_quarantined_job(tmp_path):
+    store = JobStore(
+        tmp_path / "jobs.sqlite", lease_s=0.02, max_attempts=1, backoff_base_s=0.0
+    )
+    try:
+        key = "n" * 64
+        store.submit(key, REQUEST)
+        store.claim()
+        time.sleep(0.05)
+        store.expire_leases()
+        assert store.get(key).state == QUARANTINED
+        record, deduped = store.submit(key, REQUEST)
+        assert not deduped
+        assert record.state == QUEUED
+        assert record.attempts == 0  # fresh retry budget
+        assert record.error == ""
+    finally:
+        store.close()
+
+
+def test_release_refunds_attempt_for_graceful_drain(store):
+    key = "o" * 64
+    store.submit(key, REQUEST)
+    claimed = store.claim()
+    assert claimed.attempts == 1
+    assert store.release(key)
+    record = store.get(key)
+    assert record.state == QUEUED
+    assert record.attempts == 0  # drain is not a crash
+    assert record.owner is None
+    assert store.claim().attempts == 1
+    assert not store.release(key, owner="someone-else")  # owner-guarded
+
+
+def test_settle_is_owner_guarded(store):
+    key = "p" * 64
+    store.submit(key, REQUEST)
+    store.claim(owner="worker-1", lease_s=60.0)
+    # A worker whose lease was lost cannot settle the re-leased job.
+    assert not store.finish(key, {"figure": {}}, owner="worker-2")
+    assert not store.fail(key, "boom", owner="worker-2")
+    assert store.get(key).state == RUNNING
+    assert store.finish(key, {"figure": {}}, owner="worker-1")
+    assert store.get(key).state == DONE
+
+
+# ----------------------------------------------------------------------
+# Failures and resubmission
+# ----------------------------------------------------------------------
 def test_failed_job_captures_error_and_partial_result(store):
     key = "1" * 64
     store.submit(key, REQUEST)
@@ -107,21 +278,30 @@ def test_failed_job_captures_error_and_partial_result(store):
     assert record.result == {"partial": True}
 
 
-def test_resubmitting_failed_job_requeues(store):
+def test_resubmitting_failed_job_requeues_with_clean_slate(store):
     key = "2" * 64
     store.submit(key, REQUEST)
     store.claim()
-    store.fail(key, "boom")
+    store.fail(key, "boom", result={"partial": True})
     record, deduped = store.submit(key, REQUEST)
     assert not deduped  # retry, not a cache hit
     assert record.state == QUEUED
     assert record.error == ""
-    assert record.attempts == 1  # history preserved
-    assert store.claim().attempts == 2
+    # The stale partial result must not leak into the retry: a crash of
+    # the retrying worker would otherwise serve the old blob as current.
+    assert record.result is None
+    assert record.attempts == 0
+    assert store.claim().attempts == 1
 
 
 def test_counts_zero_filled(store):
-    assert store.counts() == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+    assert store.counts() == {
+        "queued": 0,
+        "running": 0,
+        "done": 0,
+        "failed": 0,
+        "quarantined": 0,
+    }
     store.submit("3" * 64, REQUEST)
     store.submit("4" * 64, REQUEST)
     store.claim()
@@ -130,6 +310,9 @@ def test_counts_zero_filled(store):
     assert counts["running"] == 1
 
 
+# ----------------------------------------------------------------------
+# Progress stream
+# ----------------------------------------------------------------------
 def test_progress_stream_is_incremental(store):
     key = "5" * 64
     store.submit(key, REQUEST)
@@ -142,3 +325,62 @@ def test_progress_stream_is_incremental(store):
     store.add_progress(key, "cell 3/12")
     fresh = store.progress_since(key, after_id=last_id)
     assert [line for _, line in fresh] == ["cell 3/12"]
+
+
+def test_stale_progress_of_terminal_jobs_pruned_on_open(tmp_path):
+    path = tmp_path / "jobs.sqlite"
+    store = JobStore(path)
+    done_key, live_key = "6" * 64, "7" * 64
+    store.submit(done_key, REQUEST)
+    store.submit(live_key, REQUEST)
+    store.claim()
+    store.add_progress(done_key, "old line")
+    store.add_progress(live_key, "keep me")
+    store.finish(done_key, {"figure": {}})
+    store.close()
+
+    reopened = JobStore(path, progress_ttl_s=0.0)
+    assert reopened.pruned_on_open == 1
+    assert reopened.progress_since(done_key) == []
+    # Non-terminal jobs keep their stream regardless of age.
+    assert [line for _, line in reopened.progress_since(live_key)] == ["keep me"]
+    reopened.close()
+
+
+def test_v1_store_file_migrates_in_place(tmp_path):
+    """A pre-lease store file gains the new columns transparently."""
+    import sqlite3
+
+    path = tmp_path / "old.sqlite"
+    conn = sqlite3.connect(str(path))
+    conn.executescript(
+        """
+        CREATE TABLE jobs (
+            key TEXT PRIMARY KEY, request TEXT NOT NULL, state TEXT NOT NULL,
+            submitted_at REAL NOT NULL, started_at REAL, finished_at REAL,
+            attempts INTEGER NOT NULL DEFAULT 0,
+            error TEXT NOT NULL DEFAULT '', result TEXT
+        );
+        CREATE TABLE progress (
+            id INTEGER PRIMARY KEY AUTOINCREMENT,
+            key TEXT NOT NULL, at REAL NOT NULL, line TEXT NOT NULL
+        );
+        """
+    )
+    conn.execute(
+        "INSERT INTO jobs (key, request, state, submitted_at) VALUES (?, ?, ?, ?)",
+        ("9" * 64, '{"target": "fig6"}', "queued", time.time()),
+    )
+    conn.commit()
+    conn.close()
+
+    store = JobStore(path, backoff_base_s=0.0)
+    try:
+        record = store.get("9" * 64)
+        assert record.state == QUEUED
+        assert record.not_before == 0
+        claimed = store.claim()
+        assert claimed.key == "9" * 64
+        assert claimed.owner == store.owner
+    finally:
+        store.close()
